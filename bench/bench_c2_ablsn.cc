@@ -1,0 +1,116 @@
+// Experiment C2 (§5.1): abstract page LSNs under out-of-order execution.
+//
+// Claims under test:
+//  * a reordering transport is handled correctly and cheaply by the
+//    abLSN idempotence test (vs the broken traditional pageLSN test);
+//  * the space cost is a few bytes per page trailer, versus the per-
+//    record LSN alternative the paper rejects as "very expensive in
+//    space" (8 bytes per record).
+#include "bench_util.h"
+
+namespace untx {
+namespace bench {
+namespace {
+
+constexpr TableId kTable = 1;
+
+std::unique_ptr<UnbundledDb> MakeChannelDb(uint32_t max_delay_us) {
+  UnbundledDbOptions options = DefaultDbOptions();
+  options.transport = TransportKind::kChannel;
+  options.channel.request_channel.max_delay_us = max_delay_us;
+  options.channel.reply_channel.max_delay_us = max_delay_us;
+  options.channel.server_threads = 2;
+  options.tc.resend_interval_ms = 50;
+  auto db = std::move(UnbundledDb::Open(options)).ValueOrDie();
+  db->CreateTable(kTable);
+  return db;
+}
+
+// arg0: per-message delay jitter in microseconds (0 = in-order channel).
+// Multi-threaded clients + jitter => operations reach pages out of LSN
+// order; correctness is asserted by counting rows at the end.
+void BM_ChannelInsertsWithReordering(benchmark::State& state) {
+  auto db = MakeChannelDb(static_cast<uint32_t>(state.range(0)));
+  std::atomic<int> next{0};
+  for (auto _ : state) {
+    // Two concurrent writers per iteration block of 16 ops.
+    std::thread a([&] {
+      for (int j = 0; j < 8; ++j) {
+        Txn txn(db->tc());
+        txn.Insert(kTable, Key(next.fetch_add(1)), "v");
+        txn.Commit();
+      }
+    });
+    std::thread b([&] {
+      for (int j = 0; j < 8; ++j) {
+        Txn txn(db->tc());
+        txn.Insert(kTable, Key(next.fetch_add(1)), "v");
+        txn.Commit();
+      }
+    });
+    a.join();
+    b.join();
+  }
+  // Exactly-once check.
+  Txn txn(db->tc());
+  std::vector<std::pair<std::string, std::string>> rows;
+  txn.Scan(kTable, "", "", 0, &rows);
+  txn.Commit();
+  state.counters["rows"] = static_cast<double>(rows.size());
+  state.counters["expected"] = static_cast<double>(next.load());
+  state.counters["ops/iter"] = 16;
+}
+BENCHMARK(BM_ChannelInsertsWithReordering)
+    ->Arg(0)
+    ->Arg(200)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Space accounting: run a write burst, flush, and compare the actual
+// trailer bytes per page against the hypothetical 8-bytes-per-record
+// LSN scheme on the same pages.
+void BM_AbLsnSpaceVsRecordLsns(benchmark::State& state) {
+  for (auto _ : state) {
+    UnbundledDbOptions options = DefaultDbOptions();
+    auto db = std::move(UnbundledDb::Open(options)).ValueOrDie();
+    db->CreateTable(kTable);
+    Load(db.get(), kTable, 2000);
+    db->tc()->PushControls();
+    db->dc(0)->pool()->FlushAllEligible();
+
+    const auto& stats = db->dc(0)->pool()->stats();
+    const double flushes = static_cast<double>(stats.flushes);
+    const double trailer_per_page =
+        flushes == 0 ? 0
+                     : static_cast<double>(stats.trailer_bytes_written) /
+                           flushes;
+    // Count records per leaf page for the per-record alternative.
+    uint64_t records = 0, leaf_pages = 0;
+    for (PageId pid : db->dc(0)->pool()->CachedPages()) {
+      Frame* frame = nullptr;
+      if (!db->dc(0)->pool()->Fetch(pid, &frame).ok()) continue;
+      SlottedPage page = frame->Page(db->dc(0)->pool()->page_size(),
+                                     db->dc(0)->pool()->trailer_capacity());
+      if (page.type() == PageType::kLeaf) {
+        records += page.slot_count();
+        ++leaf_pages;
+      }
+      db->dc(0)->pool()->Unpin(frame);
+    }
+    state.counters["abLSN_bytes/page"] = trailer_per_page;
+    state.counters["recordLSN_bytes/page"] =
+        leaf_pages == 0 ? 0
+                        : 8.0 * static_cast<double>(records) /
+                              static_cast<double>(leaf_pages);
+  }
+}
+BENCHMARK(BM_AbLsnSpaceVsRecordLsns)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+}  // namespace bench
+}  // namespace untx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Experiment C3 (§5.1.2): the three page-sync strategies.
+//
+//   1 kWaitForLwm — refuse ops beyond the in-set, wait for the LWM to
+//                   collapse the abLSN, store a single LSN. Delays flush.
+//   2 kStoreFull  — serialize the whole abLSN into the trailer. Costs
+//                   page space, flushes immediately.
+//   3 kHybrid     — wait until the in-set is small, then serialize.
+//
+// Measured: time to drain all dirty pages (checkpoint latency), flush
+// deferrals, and trailer bytes per flush, for each strategy.
+#include "bench_util.h"
+
+namespace untx {
+namespace bench {
+namespace {
+
+constexpr TableId kTable = 1;
+
+void BM_CheckpointDrain(benchmark::State& state) {
+  const auto strategy = static_cast<PageSyncStrategy>(state.range(0));
+  double trailer_per_flush = 0;
+  double deferrals = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    UnbundledDbOptions options = DefaultDbOptions();
+    options.dc.buffer_pool.strategy = strategy;
+    options.dc.buffer_pool.hybrid_cap = 8;
+    options.tc.control_interval_ms = 2;  // LWM keeps flowing
+    auto db = std::move(UnbundledDb::Open(options)).ValueOrDie();
+    db->CreateTable(kTable);
+    Load(db.get(), kTable, 1500);
+    state.ResumeTiming();
+
+    // Drain: checkpoint waits until every page with ops is stable.
+    Status s = db->tc()->TakeCheckpoint();
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+
+    state.PauseTiming();
+    const auto& stats = db->dc(0)->pool()->stats();
+    deferrals = static_cast<double>(stats.flush_deferrals);
+    trailer_per_flush =
+        stats.flushes == 0
+            ? 0
+            : static_cast<double>(stats.trailer_bytes_written) /
+                  static_cast<double>(stats.flushes);
+    state.ResumeTiming();
+  }
+  state.counters["flush_deferrals"] = deferrals;
+  state.counters["trailer_bytes/flush"] = trailer_per_flush;
+}
+BENCHMARK(BM_CheckpointDrain)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Strategy 1's visible cost during normal running: writes that land on a
+// flush-waiting page with an LSN beyond the in-set must stall (§5.1.2
+// method 1 "refuse to execute operations ... with LSNs greater than the
+// highest valued LSNin").
+void BM_WriteWhileFlushing(benchmark::State& state) {
+  const auto strategy = static_cast<PageSyncStrategy>(state.range(0));
+  UnbundledDbOptions options = DefaultDbOptions();
+  options.dc.buffer_pool.strategy = strategy;
+  options.tc.control_interval_ms = 1;
+  auto db = std::move(UnbundledDb::Open(options)).ValueOrDie();
+  db->CreateTable(kTable);
+  Load(db.get(), kTable, 500);
+  int i = 0;
+  for (auto _ : state) {
+    {
+      Txn txn(db->tc());
+      txn.Update(kTable, Key(i % 500), "x");
+      txn.Commit();
+    }
+    if (i % 32 == 0) {
+      // Kick flushes while writes continue.
+      db->dc(0)->pool()->FlushAllEligible();
+    }
+    ++i;
+  }
+  state.counters["flush_deferrals"] =
+      static_cast<double>(db->dc(0)->pool()->stats().flush_deferrals);
+  state.counters["flushes"] =
+      static_cast<double>(db->dc(0)->pool()->stats().flushes);
+}
+BENCHMARK(BM_WriteWhileFlushing)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace bench
+}  // namespace untx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// Experiment C4 (§5.2): system transactions — splits and consolidates as
+// DC-local logged atomic actions, replayed before TC redo.
+//
+// Claims under test:
+//  * split logging is cheap (logical split-key record for the pre-split
+//    page + one physical image for the new page);
+//  * page delete/consolidate uses a physical image ("more costly in log
+//    space than the traditional logical system transaction ... but page
+//    deletes are rare, so the extra cost should not be significant");
+//  * recovery replays SMOs out of original order, before TC redo, and
+//    still converges.
+#include "bench_util.h"
+
+namespace untx {
+namespace bench {
+namespace {
+
+constexpr TableId kTable = 1;
+
+UnbundledDbOptions SmallPages() {
+  UnbundledDbOptions options = DefaultDbOptions();
+  options.store.page_size = 1024;  // dense SMO activity
+  options.store.trailer_capacity = 128;
+  options.dc.max_value_size = 200;
+  return options;
+}
+
+void BM_InsertHeavySplitStorm(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto db = std::move(UnbundledDb::Open(SmallPages())).ValueOrDie();
+    db->CreateTable(kTable);
+    state.ResumeTiming();
+    Load(db.get(), kTable, 2000, "value-abcdefghij");
+    state.PauseTiming();
+    const auto& bt = db->dc(0)->btree()->stats();
+    state.counters["splits"] = static_cast<double>(bt.splits);
+    state.counters["dc_log_bytes/split"] =
+        bt.splits == 0 ? 0
+                       : static_cast<double>(
+                             db->dc(0)->dc_log()->bytes_appended()) /
+                             static_cast<double>(bt.splits);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_InsertHeavySplitStorm)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+void BM_DeleteHeavyConsolidation(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto db = std::move(UnbundledDb::Open(SmallPages())).ValueOrDie();
+    db->CreateTable(kTable);
+    Load(db.get(), kTable, 2000, "value-abcdefghij");
+    const uint64_t log_after_load = db->dc(0)->dc_log()->bytes_appended();
+    state.ResumeTiming();
+    for (int i = 0; i < 2000; ++i) {
+      Txn txn(db->tc());
+      txn.Delete(kTable, Key(i));
+      txn.Commit();
+    }
+    state.PauseTiming();
+    const auto& bt = db->dc(0)->btree()->stats();
+    state.counters["consolidates"] = static_cast<double>(bt.consolidates);
+    state.counters["dc_log_bytes/consolidate"] =
+        bt.consolidates == 0
+            ? 0
+            : static_cast<double>(db->dc(0)->dc_log()->bytes_appended() -
+                                  log_after_load) /
+                  static_cast<double>(bt.consolidates);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_DeleteHeavyConsolidation)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+// Recovery correctness + cost after an SMO storm: crash the DC right
+// after heavy structure modification; measure replay + redo time.
+void BM_RecoveryAfterSmoStorm(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto db = std::move(UnbundledDb::Open(SmallPages())).ValueOrDie();
+    db->CreateTable(kTable);
+    Load(db.get(), kTable, 1500, "value-abcdefghij");
+    db->CrashDc(0);
+    state.ResumeTiming();
+
+    Status s = db->RecoverDc(0);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+
+    state.PauseTiming();
+    Status inv = db->dc(0)->btree()->CheckInvariants(kTable);
+    if (!inv.ok()) state.SkipWithError(inv.ToString().c_str());
+    Txn txn(db->tc());
+    std::vector<std::pair<std::string, std::string>> rows;
+    txn.Scan(kTable, "", "", 0, &rows);
+    txn.Commit();
+    state.counters["rows_recovered"] = static_cast<double>(rows.size());
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_RecoveryAfterSmoStorm)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+}  // namespace bench
+}  // namespace untx
+
+BENCHMARK_MAIN();

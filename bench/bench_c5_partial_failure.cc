@@ -1,0 +1,145 @@
+// Experiment C5 (§5.3): partial failures.
+//
+// Claims under test:
+//  * DC crash -> conventional redo from the RSSP; a checkpoint bounds
+//    the redo work;
+//  * TC crash -> the DC resets ONLY the cached pages whose abLSNs cover
+//    operations beyond the stable TC log, rather than "the draconian"
+//    full cache drop — measured by recovery time and by how much of the
+//    cache survives (post-recovery stable-store reads).
+#include "bench_util.h"
+
+namespace untx {
+namespace bench {
+namespace {
+
+constexpr TableId kTable = 1;
+
+// arg0: committed transactions before the crash.
+void BM_DcCrashRecovery(benchmark::State& state) {
+  const int txns = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto db = std::move(UnbundledDb::Open(DefaultDbOptions())).ValueOrDie();
+    db->CreateTable(kTable);
+    Load(db.get(), kTable, txns);
+    db->CrashDc(0);
+    state.ResumeTiming();
+    Status s = db->RecoverDc(0);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+  }
+  state.counters["txns_before_crash"] = txns;
+}
+BENCHMARK(BM_DcCrashRecovery)
+    ->Arg(200)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+void BM_DcCrashRecoveryAfterCheckpoint(benchmark::State& state) {
+  const int txns = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto db = std::move(UnbundledDb::Open(DefaultDbOptions())).ValueOrDie();
+    db->CreateTable(kTable);
+    Load(db.get(), kTable, txns);
+    Status cp = db->tc()->TakeCheckpoint();
+    if (!cp.ok()) state.SkipWithError(cp.ToString().c_str());
+    db->CrashDc(0);
+    state.ResumeTiming();
+    Status s = db->RecoverDc(0);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+  }
+  state.counters["txns_before_crash"] = txns;
+}
+BENCHMARK(BM_DcCrashRecoveryAfterCheckpoint)
+    ->Arg(200)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+// TC crash with MOSTLY-durable state: the targeted reset drops only the
+// pages with lost operations; the rest of the DC cache survives. The
+// counter reports stable-store reads during post-recovery re-reading —
+// near zero means the cache stayed warm.
+void BM_TcCrashTargetedReset(benchmark::State& state) {
+  const int txns = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto db = std::move(UnbundledDb::Open(DefaultDbOptions())).ValueOrDie();
+    db->CreateTable(kTable);
+    Load(db.get(), kTable, txns);
+    // A couple of transactions whose log records will be lost.
+    StatusOr<TxnId> open = db->Begin();
+    if (open.ok()) {
+      db->tc()->Update(*open, kTable, Key(0), "lost-1");
+      db->tc()->Update(*open, kTable, Key(1), "lost-2");
+    }
+    db->CrashTc();
+    state.ResumeTiming();
+    Status s = db->RestartTc();
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    state.PauseTiming();
+    const uint64_t reads_before = db->store(0)->reads();
+    for (int i = 0; i < txns; i += 7) {
+      Txn txn(db->tc());
+      std::string v;
+      txn.Read(kTable, Key(i), &v);
+      txn.Commit();
+    }
+    state.counters["cold_reads_after"] =
+        static_cast<double>(db->store(0)->reads() - reads_before);
+    state.counters["pages_dropped"] = static_cast<double>(
+        db->dc(0)->stats().pages_reset_dropped.load());
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_TcCrashTargetedReset)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+// The "draconian" alternative (§5.3.2): turn the partial failure into a
+// complete one — drop the whole DC cache, then recover. Compare
+// cold_reads_after with the targeted reset above.
+void BM_TcCrashDraconianFullDrop(benchmark::State& state) {
+  const int txns = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto db = std::move(UnbundledDb::Open(DefaultDbOptions())).ValueOrDie();
+    db->CreateTable(kTable);
+    Load(db.get(), kTable, txns);
+    db->CrashTc();
+    db->CrashDc(0);  // the draconian part
+    state.ResumeTiming();
+    db->dc(0)->Restore();
+    Status s = db->dc(0)->Recover();
+    if (s.ok()) s = db->RestartTc();
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    state.PauseTiming();
+    const uint64_t reads_before = db->store(0)->reads();
+    for (int i = 0; i < txns; i += 7) {
+      Txn txn(db->tc());
+      std::string v;
+      txn.Read(kTable, Key(i), &v);
+      txn.Commit();
+    }
+    state.counters["cold_reads_after"] =
+        static_cast<double>(db->store(0)->reads() - reads_before);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_TcCrashDraconianFullDrop)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+}  // namespace bench
+}  // namespace untx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+// Experiment C6 (§6.2): sharing data among TCs without 2PC.
+//
+//   read-only   — reads commute; no mechanism needed (§6.2.1);
+//   dirty read  — "a writer may access and update data at any time
+//                  without conflicting with a dirty read";
+//   read committed over versioned data — before-versions give committed
+//                  reads; "Readers are never blocked" and commit is
+//                  non-blocking (§6.2.2).
+//
+// Measured: reader throughput with and without an active writer TC, and
+// writer throughput with versioning on/off (the cost of keeping and
+// promoting before-versions).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+
+#include "cloud/deployment.h"
+
+namespace untx {
+namespace bench {
+namespace {
+
+constexpr TableId kTable = 9;
+
+std::string Key(int i) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "k%08d", i);
+  return buf;
+}
+
+std::unique_ptr<cloud::Deployment> MakeDeployment(bool versioning) {
+  cloud::DeploymentOptions options;
+  options.num_dcs = 1;
+  for (int t = 0; t < 2; ++t) {
+    cloud::TcSpec spec;
+    spec.options.tc_id = static_cast<TcId>(t + 1);
+    spec.options.versioning = versioning;
+    spec.options.control_interval_ms = 10;
+    spec.options.insert_phantom_protection = false;
+    options.tcs.push_back(spec);
+  }
+  auto deployment = std::move(cloud::Deployment::Open(options)).ValueOrDie();
+  deployment->tc(0)->CreateTable(kTable);
+  // TC1 owns all keys; TC2 is the reader.
+  for (int i = 0; i < 1000; ++i) {
+    auto txn = deployment->tc(0)->Begin();
+    deployment->tc(0)->Insert(*txn, kTable, Key(i), "v0");
+    deployment->tc(0)->Commit(*txn);
+  }
+  return deployment;
+}
+
+// arg0: 0 = dirty reader, 1 = read-committed reader (versioned data).
+// arg1: 0 = quiescent writer, 1 = writer TC actively updating.
+void BM_CrossTcRead(benchmark::State& state) {
+  const bool read_committed = state.range(0) == 1;
+  const bool writer_active = state.range(1) == 1;
+  auto deployment = MakeDeployment(/*versioning=*/read_committed);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> writes{0};
+  std::thread writer;
+  if (writer_active) {
+    writer = std::thread([&] {
+      int i = 0;
+      while (!stop.load()) {
+        auto txn = deployment->tc(0)->Begin();
+        deployment->tc(0)->Update(*txn, kTable, Key(i++ % 1000), "w");
+        deployment->tc(0)->Commit(*txn);
+        writes.fetch_add(1);
+      }
+    });
+  }
+
+  const ReadFlavor flavor =
+      read_committed ? ReadFlavor::kReadCommitted : ReadFlavor::kDirty;
+  int i = 0;
+  for (auto _ : state) {
+    std::string value;
+    deployment->tc(1)->ReadShared(kTable, Key(i++ % 1000), flavor, &value);
+    benchmark::DoNotOptimize(value);
+  }
+  stop.store(true);
+  if (writer.joinable()) writer.join();
+  state.counters["writer_txns"] = static_cast<double>(writes.load());
+}
+BENCHMARK(BM_CrossTcRead)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->UseRealTime();
+
+// Writer cost of versioning: update + commit-time promote per key.
+void BM_WriterVersioningCost(benchmark::State& state) {
+  const bool versioning = state.range(0) == 1;
+  auto deployment = MakeDeployment(versioning);
+  int i = 0;
+  for (auto _ : state) {
+    auto txn = deployment->tc(0)->Begin();
+    deployment->tc(0)->Update(*txn, kTable, Key(i++ % 1000), "w");
+    deployment->tc(0)->Commit(*txn);
+  }
+}
+BENCHMARK(BM_WriterVersioningCost)->Arg(0)->Arg(1);
+
+// Non-blocking commit: reader latency while the writer holds an open
+// transaction on the very keys being read. With versioned read
+// committed the reader proceeds at full speed (no lock interaction).
+void BM_ReaderAgainstOpenTransaction(benchmark::State& state) {
+  auto deployment = MakeDeployment(/*versioning=*/true);
+  auto txn = deployment->tc(0)->Begin();
+  for (int i = 0; i < 100; ++i) {
+    deployment->tc(0)->Update(*txn, kTable, Key(i), "uncommitted");
+  }
+  int i = 0;
+  for (auto _ : state) {
+    std::string value;
+    deployment->tc(1)->ReadShared(kTable, Key(i++ % 100),
+                                  ReadFlavor::kReadCommitted, &value);
+    benchmark::DoNotOptimize(value);
+  }
+  deployment->tc(0)->Abort(*txn);
+}
+BENCHMARK(BM_ReaderAgainstOpenTransaction);
+
+}  // namespace
+}  // namespace bench
+}  // namespace untx
+
+BENCHMARK_MAIN();

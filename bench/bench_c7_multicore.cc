@@ -1,0 +1,111 @@
+// Experiment C7 (§1.1(3), §7): multi-core deployment — TC and DC as
+// separately instantiable components with configurable thread counts.
+//
+// Claims under test: the decomposition lets client threads drive the TC
+// while DC work proceeds independently; multiple DC instances spread the
+// physical work ("one might deploy a larger number of DC instances ...
+// than TC instances for better load balancing"). Absolute scaling here is
+// bounded by the CI box's 2 cores — the shape (concurrent clients over
+// 1 TC + N DCs) is what is reproduced.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace untx {
+namespace bench {
+namespace {
+
+// arg0: client threads; arg1: number of DC instances. Tables are spread
+// across DCs; each client works a disjoint key range of its own table.
+void BM_ClientScaling(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  const int num_dcs = static_cast<int>(state.range(1));
+  static std::unique_ptr<UnbundledDb> db;
+  static int cached_dcs = -1;
+  if (cached_dcs != num_dcs) {
+    UnbundledDbOptions options = DefaultDbOptions();
+    options.num_dcs = num_dcs;
+    db = std::move(UnbundledDb::Open(options)).ValueOrDie();
+    for (int t = 1; t <= 8; ++t) {
+      db->CreateTable(static_cast<TableId>(t));
+      Load(db.get(), static_cast<TableId>(t), 500);
+    }
+    cached_dcs = num_dcs;
+  }
+
+  for (auto _ : state) {
+    std::atomic<uint64_t> ops{0};
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        const TableId table = static_cast<TableId>(1 + (c % 8));
+        for (int i = 0; i < 200; ++i) {
+          Txn txn(db->tc());
+          std::string value;
+          txn.Read(table, Key((c * 37 + i) % 500), &value);
+          txn.Update(table, Key((c * 53 + i) % 500), "w");
+          if (txn.Commit().ok()) ops.fetch_add(2);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    state.counters["ops"] = static_cast<double>(ops.load());
+  }
+  state.counters["clients"] = clients;
+  state.counters["dcs"] = num_dcs;
+}
+BENCHMARK(BM_ClientScaling)
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({2, 2})
+    ->Args({4, 2})
+    ->Args({4, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(3);
+
+// The channel deployment adds DC server threads — the "each component
+// could run on a separate core" configuration.
+void BM_ChannelServerThreads(benchmark::State& state) {
+  const int server_threads = static_cast<int>(state.range(0));
+  UnbundledDbOptions options = DefaultDbOptions();
+  options.transport = TransportKind::kChannel;
+  options.channel.server_threads = server_threads;
+  options.tc.resend_interval_ms = 100;
+  auto db = std::move(UnbundledDb::Open(options)).ValueOrDie();
+  db->CreateTable(1);
+  Load(db.get(), 1, 500);
+
+  for (auto _ : state) {
+    std::atomic<uint64_t> ops{0};
+    std::vector<std::thread> threads;
+    for (int c = 0; c < 4; ++c) {
+      threads.emplace_back([&, c] {
+        for (int i = 0; i < 100; ++i) {
+          Txn txn(db->tc());
+          std::string value;
+          txn.Read(1, Key((c * 101 + i) % 500), &value);
+          if (txn.Commit().ok()) ops.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    state.counters["ops"] = static_cast<double>(ops.load());
+  }
+}
+BENCHMARK(BM_ChannelServerThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(3);
+
+}  // namespace
+}  // namespace bench
+}  // namespace untx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Experiment C9 (§4.1.1(3-4), §4.2.1): TC logging and durability.
+//
+// Measured:
+//  * commit cost vs simulated log-device force latency, with and without
+//    group commit (amortizing forces across concurrent committers);
+//  * the cost of EOSL/LWM control traffic at different push cadences
+//    ("from time to time, the TC will send the DC LWM...").
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace untx {
+namespace bench {
+namespace {
+
+constexpr TableId kTable = 1;
+
+// arg0: force delay in microseconds; arg1: group commit on/off.
+// 4 concurrent committers.
+void BM_CommitThroughput(benchmark::State& state) {
+  const uint32_t force_delay = static_cast<uint32_t>(state.range(0));
+  const bool group = state.range(1) == 1;
+  UnbundledDbOptions options = DefaultDbOptions();
+  options.tc.log.force_delay_us = force_delay;
+  options.tc.group_commit = group;
+  options.tc.group_commit_interval_us = 200;
+  auto db = std::move(UnbundledDb::Open(options)).ValueOrDie();
+  db->CreateTable(kTable);
+  Load(db.get(), kTable, 400);
+
+  for (auto _ : state) {
+    std::atomic<uint64_t> commits{0};
+    std::vector<std::thread> threads;
+    for (int c = 0; c < 4; ++c) {
+      threads.emplace_back([&, c] {
+        for (int i = 0; i < 50; ++i) {
+          Txn txn(db->tc());
+          txn.Update(kTable, Key((c * 100 + i) % 400), "w");
+          if (txn.Commit().ok()) commits.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    state.counters["commits"] = static_cast<double>(commits.load());
+  }
+  state.counters["forces"] =
+      static_cast<double>(db->tc()->log()->force_count());
+  state.counters["log_bytes"] =
+      static_cast<double>(db->tc()->log()->bytes_appended());
+}
+BENCHMARK(BM_CommitThroughput)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({500, 0})
+    ->Args({500, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(3);
+
+// Read-only transactions need no force at all (§4.1.1: force "at
+// appropriate times").
+void BM_ReadOnlyCommitNoForce(benchmark::State& state) {
+  UnbundledDbOptions options = DefaultDbOptions();
+  options.tc.log.force_delay_us = 500;  // would hurt if forced
+  options.tc.control_interval_ms = 1000;  // keep daemon forces out
+  auto db = std::move(UnbundledDb::Open(options)).ValueOrDie();
+  db->CreateTable(kTable);
+  Load(db.get(), kTable, 100);
+  int i = 0;
+  for (auto _ : state) {
+    Txn txn(db->tc());
+    std::string value;
+    txn.Read(kTable, Key(i++ % 100), &value);
+    txn.Commit();
+  }
+}
+BENCHMARK(BM_ReadOnlyCommitNoForce);
+
+// Control-push cadence: tighter EOSL/LWM intervals cost messages but
+// bound DC flush lag. Counter: dirty pages left after the run.
+void BM_ControlCadence(benchmark::State& state) {
+  const uint32_t interval = static_cast<uint32_t>(state.range(0));
+  UnbundledDbOptions options = DefaultDbOptions();
+  options.tc.control_interval_ms = interval;
+  auto db = std::move(UnbundledDb::Open(options)).ValueOrDie();
+  db->CreateTable(kTable);
+  int i = 0;
+  for (auto _ : state) {
+    Txn txn(db->tc());
+    txn.Upsert(kTable, Key(i++ % 2000), "w");
+    txn.Commit();
+    if (i % 64 == 0) db->dc(0)->pool()->FlushAllEligible();
+  }
+  state.counters["dirty_left"] =
+      static_cast<double>(db->dc(0)->pool()->DirtyCount());
+  state.counters["flushes"] =
+      static_cast<double>(db->dc(0)->pool()->stats().flushes);
+}
+BENCHMARK(BM_ControlCadence)->Arg(1)->Arg(10)->Arg(100)->UseRealTime();
+
+}  // namespace
+}  // namespace bench
+}  // namespace untx
+
+BENCHMARK_MAIN();

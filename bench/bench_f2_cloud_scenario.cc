@@ -1,0 +1,104 @@
+// Experiment F2 (Figure 2, §6.3): the movie review site — W1..W4 on the
+// partitioned 2-TC / 3-DC deployment. The claims under test: every
+// workload touches at most two machines, updates need no distributed
+// transactions, and the read path never blocks.
+#include <benchmark/benchmark.h>
+
+#include "cloud/movie_site.h"
+
+namespace untx {
+namespace cloud {
+namespace {
+
+MovieSite* GetSite() {
+  static std::unique_ptr<MovieSite> site = [] {
+    MovieSiteConfig config;
+    config.num_users = 200;
+    config.num_movies = 50;
+    config.versioning = true;
+    auto s = std::move(MovieSite::Open(config)).ValueOrDie();
+    s->Setup();
+    // Seed reviews so W1/W4 have data.
+    for (uint32_t uid = 0; uid < config.num_users; ++uid) {
+      s->W2AddReview(uid, uid % config.num_movies, "seed review");
+    }
+    return s;
+  }();
+  return site.get();
+}
+
+void BM_W1_GetMovieReviews(benchmark::State& state) {
+  MovieSite* site = GetSite();
+  uint32_t mid = 0;
+  uint64_t reviews_returned = 0;
+  for (auto _ : state) {
+    std::vector<std::pair<std::string, std::string>> reviews;
+    site->W1GetMovieReviews(mid++ % site->config().num_movies, &reviews);
+    reviews_returned += reviews.size();
+  }
+  state.counters["reviews/op"] =
+      benchmark::Counter(static_cast<double>(reviews_returned),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_W1_GetMovieReviews);
+
+void BM_W2_AddReview(benchmark::State& state) {
+  MovieSite* site = GetSite();
+  uint32_t i = 1000;  // fresh (uid, mid) pairs via upsert
+  for (auto _ : state) {
+    const uint32_t uid = i % site->config().num_users;
+    const uint32_t mid = (i / 7) % site->config().num_movies;
+    site->W2AddReview(uid, mid, "bench review");
+    ++i;
+  }
+  // One transaction, two DCs, zero coordination messages between TCs.
+  state.counters["dcs_touched"] = 2;
+}
+BENCHMARK(BM_W2_AddReview);
+
+void BM_W3_UpdateProfile(benchmark::State& state) {
+  MovieSite* site = GetSite();
+  uint32_t uid = 0;
+  for (auto _ : state) {
+    site->W3UpdateProfile(uid++ % site->config().num_users, "new profile");
+  }
+}
+BENCHMARK(BM_W3_UpdateProfile);
+
+void BM_W4_GetUserReviews(benchmark::State& state) {
+  MovieSite* site = GetSite();
+  uint32_t uid = 0;
+  uint64_t reviews_returned = 0;
+  for (auto _ : state) {
+    std::vector<std::pair<std::string, std::string>> reviews;
+    site->W4GetUserReviews(uid++ % site->config().num_users, &reviews);
+    reviews_returned += reviews.size();
+  }
+  state.counters["reviews/op"] =
+      benchmark::Counter(static_cast<double>(reviews_returned),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_W4_GetUserReviews);
+
+// W1 while a writer holds an open transaction on the same movie: the
+// read-committed reader must not block (§6.2.2 "Readers are never
+// blocked").
+void BM_W1_UnderOpenWriter(benchmark::State& state) {
+  MovieSite* site = GetSite();
+  TransactionComponent* owner = site->OwnerTc(0);
+  auto txn = owner->Begin();
+  owner->Update(*txn, kReviewsTable, ReviewKey(0, 0), "open edit");
+  for (auto _ : state) {
+    std::vector<std::pair<std::string, std::string>> reviews;
+    site->W1GetMovieReviews(0, &reviews);
+    benchmark::DoNotOptimize(reviews);
+  }
+  owner->Abort(*txn);
+}
+BENCHMARK(BM_W1_UnderOpenWriter);
+
+}  // namespace
+}  // namespace cloud
+}  // namespace untx
+
+BENCHMARK_MAIN();

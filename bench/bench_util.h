@@ -1,0 +1,46 @@
+// Shared helpers for the experiment benches (see DESIGN.md §3 and
+// EXPERIMENTS.md for the experiment index).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "kernel/unbundled_db.h"
+#include "monolithic/engine.h"
+
+namespace untx {
+namespace bench {
+
+inline std::string Key(int i) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "k%08d", i);
+  return buf;
+}
+
+/// Canonical small-footprint options so unbundled and monolithic runs
+/// compare like for like.
+inline UnbundledDbOptions DefaultDbOptions() {
+  UnbundledDbOptions options;
+  options.tc.control_interval_ms = 10;
+  options.tc.resend_interval_ms = 100;
+  // Benches measure the common path; phantom probes are benched
+  // explicitly in C1.
+  options.tc.insert_phantom_protection = false;
+  return options;
+}
+
+/// Loads n rows through committed transactions.
+inline void Load(UnbundledDb* db, TableId table, int n,
+                 const std::string& value = "payload-0123456789") {
+  for (int i = 0; i < n; ++i) {
+    Txn txn(db->tc());
+    txn.Insert(table, Key(i), value);
+    txn.Commit();
+  }
+}
+
+}  // namespace bench
+}  // namespace untx

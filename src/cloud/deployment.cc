@@ -1,0 +1,83 @@
+#include "cloud/deployment.h"
+
+namespace untx {
+namespace cloud {
+
+StatusOr<std::unique_ptr<Deployment>> Deployment::Open(
+    DeploymentOptions options) {
+  if (options.tcs.empty() || options.num_dcs < 1) {
+    return Status::InvalidArgument("need >=1 TC and >=1 DC");
+  }
+  auto deployment = std::unique_ptr<Deployment>(new Deployment());
+  deployment->options_ = options;
+
+  for (int d = 0; d < options.num_dcs; ++d) {
+    deployment->stores_.push_back(
+        std::make_unique<StableStore>(options.store));
+    deployment->dcs_.push_back(std::make_unique<DataComponent>(
+        deployment->stores_.back().get(), options.dc));
+    Status s = deployment->dcs_.back()->Initialize();
+    if (!s.ok()) return s;
+  }
+
+  Router fallback = options.default_router;
+  if (!fallback) {
+    const int num_dcs = options.num_dcs;
+    fallback = [num_dcs](TableId table, const std::string&) {
+      return static_cast<DcId>(table % num_dcs);
+    };
+  }
+
+  for (size_t t = 0; t < options.tcs.size(); ++t) {
+    deployment->clients_.emplace_back();
+    std::vector<DcBinding> bindings;
+    for (int d = 0; d < options.num_dcs; ++d) {
+      deployment->clients_.back().push_back(
+          std::make_unique<DirectDcClient>(deployment->dcs_[d].get()));
+      bindings.push_back(DcBinding{static_cast<DcId>(d),
+                                   deployment->clients_.back()[d].get()});
+    }
+    Router router = options.tcs[t].router ? options.tcs[t].router : fallback;
+    deployment->tcs_.push_back(std::make_unique<TransactionComponent>(
+        options.tcs[t].options, bindings, router));
+    Status s = deployment->tcs_.back()->Start();
+    if (!s.ok()) return s;
+  }
+  return deployment;
+}
+
+Deployment::~Deployment() {
+  for (auto& tc : tcs_) tc->Stop();
+}
+
+Status Deployment::CrashAndRestartTc(int i) {
+  tcs_[i]->Crash();
+  std::vector<TcId> escalate;
+  Status s = tcs_[i]->Restart(&escalate);
+  if (!s.ok()) return s;
+  // §6.1.2 escalation: displaced TCs repopulate from their own logs.
+  for (TcId victim : escalate) {
+    for (auto& tc : tcs_) {
+      if (tc->id() == victim) {
+        Status rs = tc->ResendFromRssp();
+        if (!rs.ok()) return rs;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Deployment::CrashAndRecoverDc(int i) {
+  dcs_[i]->Crash();
+  dcs_[i]->Restore();
+  Status s = dcs_[i]->Recover();
+  if (!s.ok()) return s;
+  for (auto& tc : tcs_) {
+    Status rs = tc->OnDcRestart(static_cast<DcId>(i));
+    if (!rs.ok()) return rs;
+  }
+  return Status::OK();
+}
+
+}  // namespace cloud
+}  // namespace untx

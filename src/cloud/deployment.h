@@ -1,0 +1,74 @@
+// cloud::Deployment — multi-TC / multi-DC topologies (Figure 1 right
+// side, Figure 2, §6).
+//
+// Several TCs share a set of DCs. Each TC gets its own DcClient per DC
+// (reply routing is per-TC). Data is logically partitioned so that no two
+// TCs ever issue conflicting writes (§6: "the invariant that no
+// conflicting operations are active simultaneously can be enforced
+// separately by each TC"); cross-TC reads use dirty / read-committed
+// flavors, which never conflict (§6.2).
+//
+// The deployment also coordinates the §6.1.2 escalation: when a TC
+// restart forces a DC to drop a shared page, the other TCs named in the
+// reset reply resend from their RSSPs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/status_or.h"
+#include "dc/data_component.h"
+#include "storage/stable_store.h"
+#include "tc/dc_client.h"
+#include "tc/transaction_component.h"
+
+namespace untx {
+namespace cloud {
+
+struct TcSpec {
+  TcOptions options;
+  Router router;  ///< defaults to the deployment's default router
+};
+
+struct DeploymentOptions {
+  int num_dcs = 1;
+  StableStoreOptions store;
+  DataComponentOptions dc;
+  std::vector<TcSpec> tcs;
+  /// Fallback router when a TcSpec has none: table_id % num_dcs.
+  Router default_router;
+};
+
+class Deployment {
+ public:
+  static StatusOr<std::unique_ptr<Deployment>> Open(
+      DeploymentOptions options);
+  ~Deployment();
+
+  int num_tcs() const { return static_cast<int>(tcs_.size()); }
+  int num_dcs() const { return static_cast<int>(dcs_.size()); }
+  TransactionComponent* tc(int i) { return tcs_[i].get(); }
+  DataComponent* dc(int i) { return dcs_[i].get(); }
+  StableStore* store(int i) { return stores_[i].get(); }
+
+  /// Crashes TC i, restarts it, and runs any §6.1.2 escalation: other
+  /// TCs the reset displaced resend from their RSSPs.
+  Status CrashAndRestartTc(int i);
+
+  /// DC crash + recovery: every TC redo-resends to it.
+  Status CrashAndRecoverDc(int i);
+
+ private:
+  Deployment() = default;
+
+  DeploymentOptions options_;
+  std::vector<std::unique_ptr<StableStore>> stores_;
+  std::vector<std::unique_ptr<DataComponent>> dcs_;
+  // clients_[tc][dc]
+  std::vector<std::vector<std::unique_ptr<DirectDcClient>>> clients_;
+  std::vector<std::unique_ptr<TransactionComponent>> tcs_;
+};
+
+}  // namespace cloud
+}  // namespace untx

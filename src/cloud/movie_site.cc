@@ -1,0 +1,238 @@
+#include "cloud/movie_site.h"
+
+#include <cstdio>
+#include <map>
+
+namespace untx {
+namespace cloud {
+
+std::string MovieKey(uint32_t mid) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "m%08u", mid);
+  return buf;
+}
+
+std::string ReviewKey(uint32_t mid, uint32_t uid) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "m%08u:u%08u", mid, uid);
+  return buf;
+}
+
+std::string UserKey(uint32_t uid) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "u%08u", uid);
+  return buf;
+}
+
+std::string MyReviewKey(uint32_t uid, uint32_t mid) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "u%08u:m%08u", uid, mid);
+  return buf;
+}
+
+namespace {
+
+// Figure 2 routing: Movies/Reviews partitioned by MId across DC0/DC1;
+// Users/MyReviews on DC2. The MId is recoverable from the key prefix.
+DcId MovieSiteRouter(TableId table, const std::string& key) {
+  switch (table) {
+    case kMoviesTable:
+    case kReviewsTable: {
+      // Keys start with "m%08u".
+      uint32_t mid = 0;
+      if (key.size() >= 9) {
+        mid = static_cast<uint32_t>(strtoul(key.substr(1, 8).c_str(),
+                                            nullptr, 10));
+      }
+      return static_cast<DcId>(mid % 2);  // DC0 or DC1
+    }
+    case kUsersTable:
+    case kMyReviewsTable:
+    default:
+      return 2;  // DC2
+  }
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<MovieSite>> MovieSite::Open(MovieSiteConfig config) {
+  auto site = std::unique_ptr<MovieSite>(new MovieSite(config));
+  DeploymentOptions options;
+  options.num_dcs = 3;
+  options.default_router = MovieSiteRouter;
+  for (int t = 0; t < 2; ++t) {
+    TcSpec spec;
+    spec.options.tc_id = static_cast<TcId>(t + 1);
+    spec.options.versioning = config.versioning;
+    spec.options.control_interval_ms = 5;
+    spec.options.resend_interval_ms = 50;
+    options.tcs.push_back(spec);
+  }
+  auto deployment = Deployment::Open(options);
+  if (!deployment.ok()) return deployment.status();
+  site->deployment_ = std::move(deployment).ValueOrDie();
+  return site;
+}
+
+Status MovieSite::Setup() {
+  TransactionComponent* tc1 = deployment_->tc(0);
+  // Partitioned tables exist on every DC that holds a slice: create with
+  // a routing hint per partition.
+  for (uint32_t part = 0; part < 2; ++part) {
+    Status s = tc1->CreateTable(kMoviesTable, MovieKey(part));
+    if (!s.ok()) return s;
+    s = tc1->CreateTable(kReviewsTable, MovieKey(part));
+    if (!s.ok()) return s;
+  }
+  Status s = tc1->CreateTable(kUsersTable);
+  if (!s.ok()) return s;
+  s = tc1->CreateTable(kMyReviewsTable);
+  if (!s.ok()) return s;
+
+  // Load movies (via TC1; any TC may load the shared catalog data).
+  for (uint32_t mid = 0; mid < config_.num_movies; ++mid) {
+    StatusOr<TxnId> txn = tc1->Begin();
+    if (!txn.ok()) return txn.status();
+    s = tc1->Insert(*txn, kMoviesTable, MovieKey(mid),
+                    "title-" + std::to_string(mid));
+    if (!s.ok()) {
+      tc1->Abort(*txn);
+      return s;
+    }
+    s = tc1->Commit(*txn);
+    if (!s.ok()) return s;
+  }
+  // Load users at their owner TCs (the §6 partitioning discipline).
+  for (uint32_t uid = 0; uid < config_.num_users; ++uid) {
+    TransactionComponent* owner = OwnerTc(uid);
+    StatusOr<TxnId> txn = owner->Begin();
+    if (!txn.ok()) return txn.status();
+    s = owner->Insert(*txn, kUsersTable, UserKey(uid),
+                      "profile-" + std::to_string(uid));
+    if (!s.ok()) {
+      owner->Abort(*txn);
+      return s;
+    }
+    s = owner->Commit(*txn);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status MovieSite::W1GetMovieReviews(
+    uint32_t mid,
+    std::vector<std::pair<std::string, std::string>>* reviews) {
+  // TC3's read path: lock-free shared reads at read-committed (versioned
+  // deployments) or dirty (plain) isolation — §6.2. We issue them through
+  // TC1's client stack; the flavor, not the TC identity, is what matters
+  // to the DC.
+  const ReadFlavor flavor = config_.versioning
+                                ? ReadFlavor::kReadCommitted
+                                : ReadFlavor::kDirty;
+  const std::string from = ReviewKey(mid, 0);
+  const std::string to = ReviewKey(mid + 1, 0);
+  return deployment_->tc(0)->ScanShared(kReviewsTable, from, to, 0, flavor,
+                                        reviews);
+}
+
+Status MovieSite::W2AddReview(uint32_t uid, uint32_t mid,
+                              const std::string& text) {
+  // One local transaction at the owner TC touching two DCs (the Reviews
+  // partition by movie, MyReviews by user): "the transaction is
+  // completely local to TC1" — the commit is a single TC log force, no
+  // distributed protocol.
+  TransactionComponent* owner = OwnerTc(uid);
+  StatusOr<TxnId> txn = owner->Begin();
+  if (!txn.ok()) return txn.status();
+  Status s = owner->Upsert(*txn, kReviewsTable, ReviewKey(mid, uid), text);
+  if (!s.ok()) {
+    owner->Abort(*txn);
+    return s;
+  }
+  s = owner->Upsert(*txn, kMyReviewsTable, MyReviewKey(uid, mid), text);
+  if (!s.ok()) {
+    owner->Abort(*txn);
+    return s;
+  }
+  return owner->Commit(*txn);
+}
+
+Status MovieSite::W3UpdateProfile(uint32_t uid, const std::string& profile) {
+  TransactionComponent* owner = OwnerTc(uid);
+  StatusOr<TxnId> txn = owner->Begin();
+  if (!txn.ok()) return txn.status();
+  Status s = owner->Update(*txn, kUsersTable, UserKey(uid), profile);
+  if (!s.ok()) {
+    owner->Abort(*txn);
+    return s;
+  }
+  return owner->Commit(*txn);
+}
+
+Status MovieSite::W4GetUserReviews(
+    uint32_t uid,
+    std::vector<std::pair<std::string, std::string>>* reviews) {
+  // A single clustered scan of the user's MyReviews partition, at the
+  // owner TC with full transactional isolation.
+  TransactionComponent* owner = OwnerTc(uid);
+  StatusOr<TxnId> txn = owner->Begin();
+  if (!txn.ok()) return txn.status();
+  const std::string from = MyReviewKey(uid, 0);
+  const std::string to = MyReviewKey(uid + 1, 0);
+  Status s = owner->Scan(*txn, kMyReviewsTable, from, to, 0, reviews);
+  if (!s.ok()) {
+    owner->Abort(*txn);
+    return s;
+  }
+  return owner->Commit(*txn);
+}
+
+Status MovieSite::VerifyConsistency() {
+  // Committed Reviews content must equal committed MyReviews content.
+  // Reviews is hash-partitioned by MId across DC0/DC1, so a whole-table
+  // range scan cannot see both partitions: scatter-gather per movie,
+  // exactly how W1 accesses the table (the clustering the paper wants).
+  std::map<std::string, std::string> by_pair;
+  const ReadFlavor flavor = config_.versioning
+                                ? ReadFlavor::kReadCommitted
+                                : ReadFlavor::kDirty;
+  for (uint32_t mid = 0; mid < config_.num_movies; ++mid) {
+    std::vector<std::pair<std::string, std::string>> reviews;
+    Status s = deployment_->tc(0)->ScanShared(
+        kReviewsTable, ReviewKey(mid, 0), ReviewKey(mid + 1, 0), 0, flavor,
+        &reviews);
+    if (!s.ok()) return s;
+    for (const auto& [key, value] : reviews) {
+      // key = m%08u:u%08u
+      if (key.size() < 19) return Status::Corruption("bad review key");
+      const std::string m = key.substr(1, 8);
+      const std::string uid = key.substr(11, 8);
+      by_pair[uid + ":" + m] = value;
+    }
+  }
+  std::vector<std::pair<std::string, std::string>> mine;
+  Status s = deployment_->tc(0)->ScanShared(kMyReviewsTable, "", "", 0,
+                                            flavor, &mine);
+  if (!s.ok()) return s;
+  if (mine.size() != by_pair.size()) {
+    return Status::Corruption("Reviews/MyReviews cardinality mismatch: " +
+                              std::to_string(by_pair.size()) + " vs " +
+                              std::to_string(mine.size()));
+  }
+  for (const auto& [key, value] : mine) {
+    // key = u%08u:m%08u
+    const std::string uid = key.substr(1, 8);
+    const std::string mid = key.substr(11, 8);
+    auto it = by_pair.find(uid + ":" + mid);
+    if (it == by_pair.end()) {
+      return Status::Corruption("MyReviews row missing in Reviews");
+    }
+    if (it->second != value) {
+      return Status::Corruption("review text mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cloud
+}  // namespace untx

@@ -1,0 +1,104 @@
+// MovieSite: the online movie review scenario of §6.3 / Figure 2.
+//
+// Tables (and the paper's physical schema):
+//   Movies    (primary key MId)       — partitioned by MId over DC0/DC1
+//   Reviews   (primary key MId,UId)   — partitioned by MId over DC0/DC1,
+//                                       clustered with the movie
+//   Users     (primary key UId)       — partitioned by UId on DC2
+//   MyReviews (primary key UId,MId)   — redundant copy on DC2, clustered
+//                                       with the user (an "index in the
+//                                       physical schema")
+//
+// TCs:
+//   TC1: users with UId mod 2 == 0 (full write rights to their rows)
+//   TC2: users with UId mod 2 == 1
+//   TC3: read-only — retrieves all reviews of a movie via versioned
+//        read-committed (or dirty) reads, never blocking and never
+//        requiring two-phase commit (§6.2.2)
+//
+// Workloads:
+//   W1: obtain all reviews for a movie          (TC3, one DC)
+//   W2: add a movie review by a user            (owner TC; writes two DCs
+//       in ONE local transaction — no distributed commit)
+//   W3: update profile information for a user   (owner TC, one DC)
+//   W4: obtain all reviews written by a user    (owner TC, one DC)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/deployment.h"
+#include "common/status.h"
+
+namespace untx {
+namespace cloud {
+
+inline constexpr TableId kMoviesTable = 1;
+inline constexpr TableId kReviewsTable = 2;
+inline constexpr TableId kUsersTable = 3;
+inline constexpr TableId kMyReviewsTable = 4;
+
+std::string MovieKey(uint32_t mid);
+std::string ReviewKey(uint32_t mid, uint32_t uid);
+std::string UserKey(uint32_t uid);
+std::string MyReviewKey(uint32_t uid, uint32_t mid);
+
+struct MovieSiteConfig {
+  uint32_t num_users = 100;
+  uint32_t num_movies = 50;
+  /// Versioned writes => TC3 can use read committed; otherwise TC3 falls
+  /// back to dirty reads (§6.2.1).
+  bool versioning = true;
+};
+
+/// Builds the Figure 2 deployment: TC1/TC2 updaters + 3 DCs. TC3 is
+/// realized as lock-free shared reads issued through TC1's client stack
+/// (read flavors need no locks and no transaction, §6.2).
+class MovieSite {
+ public:
+  static StatusOr<std::unique_ptr<MovieSite>> Open(MovieSiteConfig config);
+
+  /// Creates tables on their DCs and loads users + movies.
+  Status Setup();
+
+  /// Owner TC for a user.
+  TransactionComponent* OwnerTc(uint32_t uid) {
+    return deployment_->tc(uid % 2);
+  }
+
+  // -- The four workloads -------------------------------------------------------
+  /// W1: all reviews for a movie (read committed if versioning, else
+  /// dirty). Runs lock-free, cannot block or be blocked.
+  Status W1GetMovieReviews(uint32_t mid,
+                           std::vector<std::pair<std::string, std::string>>*
+                               reviews);
+
+  /// W2: one transaction at the user's owner TC inserting into Reviews
+  /// (movie DC) and MyReviews (user DC). No two-phase commit.
+  Status W2AddReview(uint32_t uid, uint32_t mid, const std::string& text);
+
+  /// W3: profile update at the owner TC.
+  Status W3UpdateProfile(uint32_t uid, const std::string& profile);
+
+  /// W4: all reviews by a user from the clustered MyReviews copy.
+  Status W4GetUserReviews(uint32_t uid,
+                          std::vector<std::pair<std::string, std::string>>*
+                              reviews);
+
+  /// Cross-checks Reviews against MyReviews (the redundancy invariant).
+  Status VerifyConsistency();
+
+  Deployment* deployment() { return deployment_.get(); }
+  const MovieSiteConfig& config() const { return config_; }
+
+ private:
+  explicit MovieSite(MovieSiteConfig config) : config_(config) {}
+
+  MovieSiteConfig config_;
+  std::unique_ptr<Deployment> deployment_;
+};
+
+}  // namespace cloud
+}  // namespace untx

@@ -1,0 +1,119 @@
+#include "common/coding.h"
+
+namespace untx {
+
+void PutFixed16(std::string* dst, uint16_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed16(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed32(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed64(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  unsigned char buf[5];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(value | 0x80);
+    value >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  unsigned char buf[10];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(value | 0x80);
+    value >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+namespace {
+template <typename T, int kMaxShift>
+bool GetVarintImpl(Slice* input, T* value) {
+  T result = 0;
+  const char* p = input->data();
+  const char* limit = p + input->size();
+  for (int shift = 0; shift <= kMaxShift && p < limit; shift += 7) {
+    T byte = static_cast<unsigned char>(*p);
+    ++p;
+    if (byte & 0x80) {
+      result |= ((byte & 0x7f) << shift);
+    } else {
+      result |= (byte << shift);
+      *value = result;
+      input->remove_prefix(p - input->data());
+      return true;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+bool GetVarint32(Slice* input, uint32_t* value) {
+  return GetVarintImpl<uint32_t, 28>(input, value);
+}
+
+bool GetVarint64(Slice* input, uint64_t* value) {
+  return GetVarintImpl<uint64_t, 63>(input, value);
+}
+
+int VarintLength(uint64_t value) {
+  int len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value) {
+  PutVarint32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+bool GetLengthPrefixedSlice(Slice* input, Slice* result) {
+  uint32_t len;
+  if (!GetVarint32(input, &len)) return false;
+  if (input->size() < len) return false;
+  *result = Slice(input->data(), len);
+  input->remove_prefix(len);
+  return true;
+}
+
+bool GetFixed16(Slice* input, uint16_t* value) {
+  if (input->size() < sizeof(uint16_t)) return false;
+  *value = DecodeFixed16(input->data());
+  input->remove_prefix(sizeof(uint16_t));
+  return true;
+}
+
+bool GetFixed32(Slice* input, uint32_t* value) {
+  if (input->size() < sizeof(uint32_t)) return false;
+  *value = DecodeFixed32(input->data());
+  input->remove_prefix(sizeof(uint32_t));
+  return true;
+}
+
+bool GetFixed64(Slice* input, uint64_t* value) {
+  if (input->size() < sizeof(uint64_t)) return false;
+  *value = DecodeFixed64(input->data());
+  input->remove_prefix(sizeof(uint64_t));
+  return true;
+}
+
+}  // namespace untx

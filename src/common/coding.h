@@ -1,0 +1,72 @@
+// Binary encoding helpers (RocksDB-style): fixed-width little-endian
+// integers, LEB128 varints, and length-prefixed slices. Used for log
+// records, page trailers, and wire messages.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/slice.h"
+
+namespace untx {
+
+// ---- Fixed-width encoders -------------------------------------------------
+
+inline void EncodeFixed16(char* buf, uint16_t value) {
+  memcpy(buf, &value, sizeof(value));
+}
+inline void EncodeFixed32(char* buf, uint32_t value) {
+  memcpy(buf, &value, sizeof(value));
+}
+inline void EncodeFixed64(char* buf, uint64_t value) {
+  memcpy(buf, &value, sizeof(value));
+}
+
+inline uint16_t DecodeFixed16(const char* buf) {
+  uint16_t v;
+  memcpy(&v, buf, sizeof(v));
+  return v;
+}
+inline uint32_t DecodeFixed32(const char* buf) {
+  uint32_t v;
+  memcpy(&v, buf, sizeof(v));
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* buf) {
+  uint64_t v;
+  memcpy(&v, buf, sizeof(v));
+  return v;
+}
+
+void PutFixed16(std::string* dst, uint16_t value);
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+
+// ---- Varint encoders ------------------------------------------------------
+
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Parses a varint32 from *input, advancing it. Returns false on underflow
+/// or malformed input.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+
+/// Number of bytes PutVarint64 would write.
+int VarintLength(uint64_t value);
+
+// ---- Length-prefixed slices ------------------------------------------------
+
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+
+/// Parses a length-prefixed slice; *result aliases input's buffer.
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+// ---- Fixed-width readers over Slice ----------------------------------------
+
+bool GetFixed16(Slice* input, uint16_t* value);
+bool GetFixed32(Slice* input, uint32_t* value);
+bool GetFixed64(Slice* input, uint64_t* value);
+
+}  // namespace untx

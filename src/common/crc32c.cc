@@ -1,0 +1,45 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace untx {
+namespace crc32c {
+
+namespace {
+
+// Table-driven CRC32C, one byte at a time. Generated at startup; speed is
+// adequate for a simulation substrate (checksums are not on the hot path
+// of the experiments).
+struct Table {
+  std::array<uint32_t, 256> entries;
+  Table() {
+    constexpr uint32_t kPoly = 0x82f63b78u;  // reflected Castagnoli
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+const Table& GetTable() {
+  static const Table table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
+  const Table& t = GetTable();
+  uint32_t crc = init_crc ^ 0xffffffffu;
+  const auto* p = reinterpret_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    crc = t.entries[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace crc32c
+}  // namespace untx

@@ -1,0 +1,28 @@
+// Software CRC32C (Castagnoli). Guards page images and log records so
+// torn or corrupted simulated-storage reads are detected.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace untx {
+namespace crc32c {
+
+/// CRC of data[0, n); seed with a previous Value() call to chain.
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n);
+
+inline uint32_t Value(const char* data, size_t n) { return Extend(0, data, n); }
+
+/// Masked CRC stored on disk (RocksDB-style) so that computing the CRC of
+/// a buffer that embeds its own CRC does not produce fixed points.
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8ul;
+}
+
+inline uint32_t Unmask(uint32_t masked_crc) {
+  uint32_t rot = masked_crc - 0xa282ead8ul;
+  return ((rot >> 17) | (rot << 15));
+}
+
+}  // namespace crc32c
+}  // namespace untx

@@ -1,0 +1,92 @@
+#include "common/status.h"
+
+namespace untx {
+
+namespace {
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kAlreadyExists:
+      return "AlreadyExists";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kIOError:
+      return "IOError";
+    case Status::Code::kBusy:
+      return "Busy";
+    case Status::Code::kDeadlock:
+      return "Deadlock";
+    case Status::Code::kAborted:
+      return "Aborted";
+    case Status::Code::kTimedOut:
+      return "TimedOut";
+    case Status::Code::kNotSupported:
+      return "NotSupported";
+    case Status::Code::kConflict:
+      return "Conflict";
+    case Status::Code::kCrashed:
+      return "Crashed";
+    case Status::Code::kAccessDenied:
+      return "AccessDenied";
+    case Status::Code::kShutdown:
+      return "Shutdown";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+uint8_t StatusCodeToByte(Status::Code code) {
+  return static_cast<uint8_t>(code);
+}
+
+Status StatusFromByte(uint8_t code, std::string msg) {
+  switch (static_cast<Status::Code>(code)) {
+    case Status::Code::kOk:
+      return Status::OK();
+    case Status::Code::kNotFound:
+      return Status::NotFound(std::move(msg));
+    case Status::Code::kAlreadyExists:
+      return Status::AlreadyExists(std::move(msg));
+    case Status::Code::kCorruption:
+      return Status::Corruption(std::move(msg));
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(std::move(msg));
+    case Status::Code::kIOError:
+      return Status::IOError(std::move(msg));
+    case Status::Code::kBusy:
+      return Status::Busy(std::move(msg));
+    case Status::Code::kDeadlock:
+      return Status::Deadlock(std::move(msg));
+    case Status::Code::kAborted:
+      return Status::Aborted(std::move(msg));
+    case Status::Code::kTimedOut:
+      return Status::TimedOut(std::move(msg));
+    case Status::Code::kNotSupported:
+      return Status::NotSupported(std::move(msg));
+    case Status::Code::kConflict:
+      return Status::Conflict(std::move(msg));
+    case Status::Code::kCrashed:
+      return Status::Crashed(std::move(msg));
+    case Status::Code::kAccessDenied:
+      return Status::AccessDenied(std::move(msg));
+    case Status::Code::kShutdown:
+      return Status::Shutdown(std::move(msg));
+  }
+  return Status::Corruption("unknown status code byte");
+}
+
+}  // namespace untx

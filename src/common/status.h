@@ -1,0 +1,113 @@
+// Status: RocksDB-style result type used throughout UnTx instead of
+// exceptions. Every fallible operation returns a Status (or StatusOr<T>).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace untx {
+
+/// Outcome of an operation. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  enum class Code : uint8_t {
+    kOk = 0,
+    kNotFound = 1,        ///< Key / page / table does not exist.
+    kAlreadyExists = 2,   ///< Insert of a key that is present.
+    kCorruption = 3,      ///< Checksum mismatch or malformed structure.
+    kInvalidArgument = 4, ///< Caller error.
+    kIOError = 5,         ///< Simulated storage failure.
+    kBusy = 6,            ///< Transient refusal; caller should retry.
+    kDeadlock = 7,        ///< Lock-manager victim; transaction must abort.
+    kAborted = 8,         ///< Transaction was rolled back.
+    kTimedOut = 9,        ///< Lock wait or message wait expired.
+    kNotSupported = 10,   ///< Feature not available in this configuration.
+    kConflict = 11,       ///< Conflicting concurrent operation detected.
+    kCrashed = 12,        ///< Component is crashed / unavailable.
+    kAccessDenied = 13,   ///< TC lacks write rights for the partition (§6).
+    kShutdown = 14,       ///< Component is shutting down.
+  };
+
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Busy(std::string msg = "") {
+    return Status(Code::kBusy, std::move(msg));
+  }
+  static Status Deadlock(std::string msg = "") {
+    return Status(Code::kDeadlock, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status TimedOut(std::string msg = "") {
+    return Status(Code::kTimedOut, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Conflict(std::string msg = "") {
+    return Status(Code::kConflict, std::move(msg));
+  }
+  static Status Crashed(std::string msg = "") {
+    return Status(Code::kCrashed, std::move(msg));
+  }
+  static Status AccessDenied(std::string msg = "") {
+    return Status(Code::kAccessDenied, std::move(msg));
+  }
+  static Status Shutdown(std::string msg = "") {
+    return Status(Code::kShutdown, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsDeadlock() const { return code_ == Code::kDeadlock; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsTimedOut() const { return code_ == Code::kTimedOut; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsConflict() const { return code_ == Code::kConflict; }
+  bool IsCrashed() const { return code_ == Code::kCrashed; }
+  bool IsAccessDenied() const { return code_ == Code::kAccessDenied; }
+  bool IsShutdown() const { return code_ == Code::kShutdown; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "<code>: <message>" string for logs and tests.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// Serializable numeric form of a Status code (for replies on the wire).
+uint8_t StatusCodeToByte(Status::Code code);
+Status StatusFromByte(uint8_t code, std::string msg = "");
+
+}  // namespace untx

@@ -1,0 +1,53 @@
+// StatusOr<T>: either a value or a non-OK Status.
+#pragma once
+
+#include <cassert>
+#include <utility>
+
+#include "common/status.h"
+
+namespace untx {
+
+/// Holds either an OK status plus a T, or a non-OK Status.
+/// Accessing value() on a non-OK StatusOr is a programming error (asserts).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from Status so `return Status::NotFound();` works.
+  StatusOr(Status s) : status_(std::move(s)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok());
+  }
+  /// Implicit from T so `return value;` works.
+  StatusOr(T value)  // NOLINT(runtime/explicit)
+      : status_(Status::OK()), value_(std::move(value)), has_value_(true) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(has_value_);
+    return value_;
+  }
+  const T& value() const {
+    assert(has_value_);
+    return value_;
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Moves the value out; the StatusOr must be OK.
+  T ValueOrDie() && {
+    assert(has_value_);
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+  bool has_value_ = false;
+};
+
+}  // namespace untx

@@ -1,0 +1,31 @@
+#include "common/types.h"
+
+namespace untx {
+
+const char* OpTypeName(OpType op) {
+  switch (op) {
+    case OpType::kRead:
+      return "Read";
+    case OpType::kInsert:
+      return "Insert";
+    case OpType::kUpdate:
+      return "Update";
+    case OpType::kDelete:
+      return "Delete";
+    case OpType::kUpsert:
+      return "Upsert";
+    case OpType::kProbeNext:
+      return "ProbeNext";
+    case OpType::kScanRange:
+      return "ScanRange";
+    case OpType::kPromoteVersion:
+      return "PromoteVersion";
+    case OpType::kRollbackVersion:
+      return "RollbackVersion";
+    case OpType::kCreateTable:
+      return "CreateTable";
+  }
+  return "Unknown";
+}
+
+}  // namespace untx

@@ -1,0 +1,87 @@
+// Core identifier types shared by the TC, the DC, and the wire protocol.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace untx {
+
+/// TC log sequence number. The TC assigns one per logical operation at
+/// log-reservation time (before dispatch), so a DC can observe LSNs out
+/// of arrival order (§5.1 of the paper). LSN 0 is "invalid / none".
+using Lsn = uint64_t;
+inline constexpr Lsn kInvalidLsn = 0;
+inline constexpr Lsn kMaxLsn = std::numeric_limits<Lsn>::max();
+
+/// DC-local log sequence number for system transactions (§5.2.2).
+using DLsn = uint64_t;
+inline constexpr DLsn kInvalidDLsn = 0;
+
+/// Transaction identifier, assigned by the owning TC.
+using TxnId = uint64_t;
+inline constexpr TxnId kInvalidTxnId = 0;
+
+/// Identifies a TC instance. Multiple TCs may share a DC (§6); each page
+/// then tracks one abstract LSN per TC that has data on it (§6.1.1).
+using TcId = uint16_t;
+inline constexpr TcId kInvalidTcId = std::numeric_limits<TcId>::max();
+
+/// Identifies a DC instance within a deployment.
+using DcId = uint16_t;
+
+/// Physical page number within one DC's stable store.
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0;
+
+/// Table identifier; the catalog maps it to a B-tree root.
+using TableId = uint32_t;
+inline constexpr TableId kInvalidTableId = 0;
+
+/// Logical operation verbs of the TC:DC record interface (§4.1.2).
+/// The DC executes each atomically and idempotently; it never learns
+/// which user transaction an operation belongs to.
+enum class OpType : uint8_t {
+  kRead = 1,        ///< Point read of a key.
+  kInsert = 2,      ///< Insert; fails with kAlreadyExists if present.
+  kUpdate = 3,      ///< Overwrite; reply carries the before-value for undo.
+  kDelete = 4,      ///< Remove; reply carries the before-value for undo.
+  kUpsert = 5,      ///< Insert-or-update; reply says which happened.
+  kProbeNext = 6,   ///< Fetch-ahead probe: next k keys >= key (§3.1).
+  kScanRange = 7,   ///< Read keys+values in [key, end_key), bounded count.
+  kPromoteVersion = 8,   ///< Versioning: drop before-version (commit, §6.2.2).
+  kRollbackVersion = 9,  ///< Versioning: drop after-version (abort, §6.2.2).
+  kCreateTable = 10,     ///< DDL: create a B-tree for table_id.
+};
+
+/// Read flavors for cross-TC sharing (§6.2). A TC reading its own
+/// partition uses kOwn and sees its own uncommitted writes.
+enum class ReadFlavor : uint8_t {
+  kOwn = 0,            ///< Reader is the writer TC: latest version.
+  kDirty = 1,          ///< Uncommitted read; no versioning needed (§6.2.1).
+  kReadCommitted = 2,  ///< Before-version if one exists (§6.2.2).
+};
+
+/// True for verbs that can modify page state (and therefore must enter
+/// the page's abstract LSN when applied).
+inline bool IsWriteOp(OpType op) {
+  switch (op) {
+    case OpType::kInsert:
+    case OpType::kUpdate:
+    case OpType::kDelete:
+    case OpType::kUpsert:
+    case OpType::kPromoteVersion:
+    case OpType::kRollbackVersion:
+    case OpType::kCreateTable:
+      return true;
+    case OpType::kRead:
+    case OpType::kProbeNext:
+    case OpType::kScanRange:
+      return false;
+  }
+  return false;
+}
+
+const char* OpTypeName(OpType op);
+
+}  // namespace untx

@@ -1,0 +1,116 @@
+// Abstract page LSNs (§5.1.2): the DC-side idempotence test under
+// out-of-order operation arrival.
+//
+//   abLSN = <LSNlw, {LSNin}>
+//   op with LSNi is reflected in the page  iff  LSNi <= LSNlw or LSNi ∈ {LSNin}
+//
+// LSNlw may only advance from the TC-supplied low-water mark (the TC has
+// received replies for every operation at or below it); the DC cannot
+// derive it locally because operations arrive out of LSN order.
+//
+// With multiple TCs per DC (§6.1.1), a page carries one abstract LSN per
+// TC that has data on it; PageAbLsn is that collection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/types.h"
+
+namespace untx {
+
+/// One TC's abstract LSN for one page.
+class AbstractLsn {
+ public:
+  /// True iff the operation's effects are already in the page state.
+  bool Covers(Lsn lsn) const;
+
+  /// Records that the operation with `lsn` was applied to the page.
+  /// No-op if already covered.
+  void Add(Lsn lsn);
+
+  /// Advances the low-water component to `lwm` (if higher) and prunes
+  /// {LSNin} entries at or below it — §5.1.2 "Establishing LSNlw".
+  void AdvanceTo(Lsn lwm);
+
+  /// Largest operation LSN reflected in the page. This is what the
+  /// causality check compares against the end of the stable TC log, and
+  /// what the TC-crash reset compares against LSNst (§5.3.2).
+  Lsn MaxCovered() const;
+
+  /// True when {LSNin} is empty, i.e. the abLSN collapses to a single
+  /// LSN — the state page-sync strategy 1 waits for.
+  bool Collapsed() const { return in_.empty(); }
+
+  Lsn lw() const { return lw_; }
+  size_t in_set_size() const { return in_.size(); }
+  const std::vector<Lsn>& in_set() const { return in_; }
+
+  /// Merge for page consolidation (§5.2.2): the surviving page reflects
+  /// the union of both pages' applied operations; the low-water bound is
+  /// the max of the two (an LWM of L guarantees every op <= L was applied
+  /// to whichever page owned its key, so the merged page inherits it).
+  void MergeFrom(const AbstractLsn& other);
+
+  void EncodeTo(std::string* dst) const;
+  static bool DecodeFrom(Slice* input, AbstractLsn* out);
+
+  /// Serialized size in bytes.
+  size_t EncodedSize() const;
+
+  bool operator==(const AbstractLsn& other) const {
+    return lw_ == other.lw_ && in_ == other.in_;
+  }
+
+ private:
+  Lsn lw_ = 0;
+  std::vector<Lsn> in_;  // sorted ascending, unique, all > lw_
+};
+
+/// The per-page collection of abstract LSNs, one per TC with data on the
+/// page. Pages touched by a single TC carry exactly one entry (§6.1.1).
+class PageAbLsn {
+ public:
+  bool Covers(TcId tc, Lsn lsn) const;
+  void Add(TcId tc, Lsn lsn);
+  void AdvanceTo(TcId tc, Lsn lwm);
+
+  /// Largest op LSN any TC has reflected in the page.
+  Lsn MaxCoveredAll() const;
+  /// Largest op LSN of one TC reflected in the page (0 if none).
+  Lsn MaxCoveredFor(TcId tc) const;
+
+  bool CollapsedAll() const;
+  size_t TotalInSetSize() const;
+  size_t TcCount() const { return entries_.size(); }
+  bool HasTc(TcId tc) const;
+
+  const AbstractLsn* Find(TcId tc) const;
+  AbstractLsn* FindMutable(TcId tc);
+  void Set(TcId tc, AbstractLsn ab);
+  void Erase(TcId tc);
+  void Clear() { entries_.clear(); }
+
+  /// Merge for consolidation across all TCs present on either page.
+  void MergeFrom(const PageAbLsn& other);
+
+  const std::vector<std::pair<TcId, AbstractLsn>>& entries() const {
+    return entries_;
+  }
+
+  /// Page-sync serialization (the page trailer, §5.1.2 "Page Sync").
+  void EncodeTo(std::string* dst) const;
+  static bool DecodeFrom(Slice* input, PageAbLsn* out);
+  size_t EncodedSize() const;
+
+  bool operator==(const PageAbLsn& other) const {
+    return entries_ == other.entries_;
+  }
+
+ private:
+  std::vector<std::pair<TcId, AbstractLsn>> entries_;  // sorted by TcId
+};
+
+}  // namespace untx

@@ -1,0 +1,360 @@
+#include "dc/buffer_pool.h"
+
+#include <cassert>
+#include <chrono>
+
+namespace untx {
+
+BufferPool::BufferPool(StableStore* store, DcLog* dc_log,
+                       BufferPoolOptions options)
+    : store_(store), dc_log_(dc_log), options_(options) {}
+
+Status BufferPool::Fetch(PageId pid, Frame** out) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    ++stats_.fetches;
+    auto it = frames_.find(pid);
+    if (it != frames_.end()) {
+      ++stats_.hits;
+      Frame* frame = it->second.get();
+      ++frame->pins;
+      frame->last_use = ++use_clock_;
+      *out = frame;
+      return Status::OK();
+    }
+  }
+  // Miss: read outside the pool mutex.
+  std::vector<char> data(store_->page_size());
+  Status s = store_->Read(pid, data.data());
+  if (!s.ok()) return s;
+
+  std::lock_guard<std::mutex> guard(mu_);
+  // Another thread may have raced the load.
+  auto it = frames_.find(pid);
+  if (it != frames_.end()) {
+    Frame* frame = it->second.get();
+    ++frame->pins;
+    frame->last_use = ++use_clock_;
+    *out = frame;
+    return Status::OK();
+  }
+  auto frame = std::make_unique<Frame>();
+  frame->pid = pid;
+  frame->data = std::move(data);
+  // Recover the in-memory abLSN from the page-sync trailer.
+  SlottedPage page = frame->Page(page_size(), trailer_capacity());
+  Slice trailer = page.ReadTrailer();
+  if (!trailer.empty()) {
+    PageAbLsn ab;
+    if (PageAbLsn::DecodeFrom(&trailer, &ab)) {
+      frame->ablsn = std::move(ab);
+    }
+  }
+  frame->pins = 1;
+  frame->last_use = ++use_clock_;
+  Frame* raw = frame.get();
+  frames_[pid] = std::move(frame);
+  MaybeEvictLocked();
+  *out = raw;
+  return Status::OK();
+}
+
+Frame* BufferPool::Create(PageId pid) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto frame = std::make_unique<Frame>();
+  frame->pid = pid;
+  frame->data.assign(store_->page_size(), 0);
+  frame->dirty = true;
+  frame->pins = 1;
+  frame->last_use = ++use_clock_;
+  Frame* raw = frame.get();
+  frames_[pid] = std::move(frame);
+  MaybeEvictLocked();
+  return raw;
+}
+
+void BufferPool::Unpin(Frame* frame) {
+  std::lock_guard<std::mutex> guard(mu_);
+  assert(frame->pins > 0);
+  --frame->pins;
+}
+
+bool BufferPool::Drop(PageId pid) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = frames_.find(pid);
+  if (it == frames_.end()) return true;
+  if (it->second->pins != 0) return false;
+  frames_.erase(it);
+  return true;
+}
+
+void BufferPool::ForceDcLog() {
+  std::vector<PageId> freed;
+  dc_log_->ForceEligible(eosl_map(), &freed);
+  for (PageId pid : freed) {
+    Drop(pid);
+    store_->Free(pid);
+  }
+}
+
+Status BufferPool::TryFlushLocked(Frame* frame) {
+  if (!frame->dirty) return Status::OK();
+  SlottedPage page = frame->Page(page_size(), trailer_capacity());
+
+  // Gate (1): WAL for the DC log.
+  if (page.dlsn() != kInvalidDLsn &&
+      page.dlsn() >= dc_log_->stable_dlsn_end()) {
+    // Try to make the SMO records stable first (their causality floors
+    // may now be satisfied), then re-check.
+    ForceDcLog();
+    if (page.dlsn() >= dc_log_->stable_dlsn_end()) {
+      return Status::Busy("dc log record for page not yet stable");
+    }
+  }
+
+  PageSyncStrategy strategy = options_.strategy;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    // Gate (2): causality — every reflected TC op must be on the stable
+    // TC log. Also fold in the freshest low-water marks (§5.1.2).
+    for (const auto& [tc, lwm] : lwm_) {
+      frame->ablsn.AdvanceTo(tc, lwm);
+    }
+    for (const auto& [tc, ab] : frame->ablsn.entries()) {
+      auto it = eosl_.find(tc);
+      const Lsn eosl = it == eosl_.end() ? 0 : it->second;
+      if (ab.MaxCovered() > eosl) {
+        return Status::Busy("page reflects ops beyond stable TC log");
+      }
+    }
+  }
+
+  // Gate (3): page-sync the abLSN into the trailer.
+  std::string trailer;
+  frame->ablsn.EncodeTo(&trailer);
+  bool can_sync;
+  switch (strategy) {
+    case PageSyncStrategy::kWaitForLwm:
+      can_sync = frame->ablsn.CollapsedAll();
+      break;
+    case PageSyncStrategy::kStoreFull:
+      can_sync = trailer.size() <= trailer_capacity();
+      break;
+    case PageSyncStrategy::kHybrid:
+      can_sync = frame->ablsn.TotalInSetSize() <= options_.hybrid_cap &&
+                 trailer.size() <= trailer_capacity();
+      break;
+    default:
+      can_sync = false;
+      break;
+  }
+  if (!can_sync) {
+    std::lock_guard<std::mutex> guard(mu_);
+    frame->flush_waiting = true;
+    ++stats_.flush_deferrals;
+    return Status::Busy("page sync deferred until LWM advances");
+  }
+
+  bool wrote = page.WriteTrailer(trailer);
+  assert(wrote);
+  (void)wrote;
+  Status s = store_->Write(frame->pid, frame->data.data());
+  if (!s.ok()) return s;
+  frame->dirty = false;
+  frame->first_op_lsn = 0;
+  frame->rec_dlsn = 0;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    frame->flush_waiting = false;
+    stats_.trailer_bytes_written += trailer.size();
+    ++stats_.flushes;
+  }
+  sync_cv_.notify_all();
+  return Status::OK();
+}
+
+size_t BufferPool::FlushAllEligible() {
+  ForceDcLog();
+  std::vector<PageId> pids = CachedPages();
+  size_t still_dirty = 0;
+  for (PageId pid : pids) {
+    Frame* frame = nullptr;
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      auto it = frames_.find(pid);
+      if (it == frames_.end()) continue;
+      frame = it->second.get();
+      ++frame->pins;
+    }
+    {
+      ExclusiveLatchGuard latch(&frame->latch);
+      if (frame->dirty && !TryFlushLocked(frame).ok()) {
+        ++still_dirty;
+      }
+    }
+    Unpin(frame);
+  }
+  return still_dirty;
+}
+
+void BufferPool::OnEndOfStableLog(TcId tc, Lsn eosl) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    Lsn& current = eosl_[tc];
+    if (eosl > current) current = eosl;
+  }
+  ForceDcLog();
+  sync_cv_.notify_all();
+}
+
+void BufferPool::OnLowWaterMark(TcId tc, Lsn lwm) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (lwm_allowed_.count(tc) == 0) return;  // not re-armed yet
+    Lsn& current = lwm_[tc];
+    if (lwm > current) current = lwm;
+  }
+  // Fold the new LWM into parked frames so strategy-1/3 flushes and
+  // blocked writers can make progress. Try-latch only: a frame busy in an
+  // operation will pick the LWM up at its next flush attempt.
+  std::vector<PageId> pids = CachedPages();
+  for (PageId pid : pids) {
+    Frame* frame = nullptr;
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      auto it = frames_.find(pid);
+      if (it == frames_.end()) continue;
+      frame = it->second.get();
+      if (!frame->flush_waiting) continue;
+      ++frame->pins;
+    }
+    if (frame->latch.TryLockExclusive()) {
+      frame->ablsn.AdvanceTo(tc, lwm);
+      // Re-attempt the parked flush right away.
+      TryFlushLocked(frame);
+      frame->latch.UnlockExclusive();
+    }
+    Unpin(frame);
+  }
+  sync_cv_.notify_all();
+}
+
+Lsn BufferPool::eosl_for(TcId tc) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = eosl_.find(tc);
+  return it == eosl_.end() ? 0 : it->second;
+}
+
+Lsn BufferPool::lwm_for(TcId tc) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = lwm_.find(tc);
+  return it == lwm_.end() ? 0 : it->second;
+}
+
+std::map<TcId, Lsn> BufferPool::eosl_map() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return eosl_;
+}
+
+bool BufferPool::WaitWhileFlushWaiting(Frame* frame, uint32_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return sync_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                           [frame] { return !frame->flush_waiting; });
+}
+
+std::vector<PageId> BufferPool::CachedPages() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<PageId> pids;
+  pids.reserve(frames_.size());
+  for (const auto& [pid, frame] : frames_) pids.push_back(pid);
+  return pids;
+}
+
+Lsn BufferPool::MinDirtyFirstOpLsn() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  Lsn min = kMaxLsn;
+  for (const auto& [pid, frame] : frames_) {
+    if (frame->dirty && frame->first_op_lsn != 0 &&
+        frame->first_op_lsn < min) {
+      min = frame->first_op_lsn;
+    }
+  }
+  return min;
+}
+
+void BufferPool::Clear() {
+  std::lock_guard<std::mutex> guard(mu_);
+#ifndef NDEBUG
+  for (const auto& [pid, frame] : frames_) assert(frame->pins == 0);
+#endif
+  frames_.clear();
+  eosl_.clear();
+  lwm_.clear();
+  // Crash-revert: every TC must re-arm its LWM after redo resend.
+  lwm_allowed_.clear();
+}
+
+void BufferPool::AllowLwm(TcId tc) {
+  std::lock_guard<std::mutex> guard(mu_);
+  lwm_allowed_.insert(tc);
+}
+
+void BufferPool::DisallowLwm(TcId tc) {
+  std::lock_guard<std::mutex> guard(mu_);
+  lwm_allowed_.erase(tc);
+  lwm_.erase(tc);
+}
+
+bool BufferPool::LwmAllowed(TcId tc) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return lwm_allowed_.count(tc) > 0;
+}
+
+bool BufferPool::ConsolidationSafe() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  // Every TC this DC has heard from must have completed (re-armed after)
+  // its redo; otherwise page merges could union time-skewed abLSNs.
+  for (const auto& [tc, eosl] : eosl_) {
+    if (lwm_allowed_.count(tc) == 0) return false;
+  }
+  for (const auto& [tc, lwm] : lwm_) {
+    if (lwm_allowed_.count(tc) == 0) return false;
+  }
+  return true;
+}
+
+size_t BufferPool::FrameCount() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return frames_.size();
+}
+
+size_t BufferPool::DirtyCount() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  size_t n = 0;
+  for (const auto& [pid, frame] : frames_) {
+    if (frame->dirty) ++n;
+  }
+  return n;
+}
+
+void BufferPool::MaybeEvictLocked() {
+  if (frames_.size() <= options_.capacity) return;
+  // Victim: the least-recently-used unpinned clean frame.
+  Frame* victim = nullptr;
+  for (auto& [pid, frame] : frames_) {
+    if (frame->pins == 0 && !frame->dirty &&
+        (victim == nullptr || frame->last_use < victim->last_use)) {
+      victim = frame.get();
+    }
+  }
+  if (victim != nullptr) {
+    ++stats_.evictions;
+    frames_.erase(victim->pid);
+    return;
+  }
+  // All candidates dirty or pinned: record the overflow; a later
+  // FlushAllEligible pass will create clean victims.
+  ++stats_.overflows;
+}
+
+}  // namespace untx

@@ -1,0 +1,863 @@
+#include "dc/data_component.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <thread>
+
+#include "common/coding.h"
+
+namespace untx {
+
+namespace {
+
+std::string SentinelKey(TableId table, const std::string& key) {
+  std::string out;
+  PutFixed32(&out, table);
+  out += key;
+  return out;
+}
+
+/// Visibility of one record under a read flavor (§6.2).
+bool VisibleValue(const LeafRecord& rec, ReadFlavor flavor,
+                  std::string* out) {
+  switch (flavor) {
+    case ReadFlavor::kOwn:
+    case ReadFlavor::kDirty:
+      // Latest state; a tombstone is an (uncommitted) delete.
+      if (rec.is_tombstone()) return false;
+      *out = rec.value;
+      return true;
+    case ReadFlavor::kReadCommitted:
+      if (rec.has_before()) {
+        if (rec.before_is_null()) return false;  // uncommitted insert
+        *out = rec.before;
+        return true;
+      }
+      if (rec.is_tombstone()) return false;
+      *out = rec.value;
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+DataComponent::DataComponent(StableStore* store, DataComponentOptions options)
+    : store_(store), options_(options) {
+  dc_log_ = std::make_unique<DcLog>(options_.dc_log);
+  pool_ = std::make_unique<BufferPool>(store_, dc_log_.get(),
+                                       options_.buffer_pool);
+  btree_ = std::make_unique<BTree>(store_, pool_.get(), dc_log_.get(),
+                                   options_.btree);
+}
+
+DataComponent::~DataComponent() = default;
+
+Status DataComponent::Initialize() { return btree_->Bootstrap(); }
+
+Status DataComponent::Recover() {
+  // Phase 1 of unbundled recovery: restore well-formed search structures
+  // from the DC log, before the TC sends any redo (§5.2.2).
+  return btree_->ReplayStableSmoBatches();
+}
+
+void DataComponent::Crash() {
+  crashed_.store(true);
+  // Wait for in-flight operations to drain; their volatile effects are
+  // about to vanish with the cache, and their replies are suppressed.
+  std::unique_lock<std::mutex> lock(quiesce_mu_);
+  quiesce_cv_.wait(lock, [this] { return active_ops_.load() == 0; });
+  pool_->Clear();
+  dc_log_->Crash();
+  {
+    std::lock_guard<std::mutex> guard(reply_mu_);
+    reply_cache_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> guard(sentinel_mu_);
+    in_flight_.clear();
+  }
+}
+
+void DataComponent::Restore() { crashed_.store(false); }
+
+OperationReply DataComponent::Perform(const OperationRequest& req) {
+  OperationReply reply;
+  reply.tc_id = req.tc_id;
+  reply.lsn = req.lsn;
+  if (crashed_.load()) {
+    reply.status = Status::Crashed("dc is down");
+    return reply;
+  }
+  active_ops_.fetch_add(1);
+  struct OpGuard {
+    DataComponent* dc;
+    ~OpGuard() {
+      if (dc->active_ops_.fetch_sub(1) == 1) dc->quiesce_cv_.notify_all();
+    }
+  } guard{this};
+
+  stats_.ops.fetch_add(1);
+  if (req.value.size() > options_.max_value_size) {
+    reply.status = Status::InvalidArgument("value exceeds max_value_size");
+    return reply;
+  }
+
+  const bool is_write = IsWriteOp(req.op);
+  if (is_write) {
+    stats_.writes.fetch_add(1);
+    // Fast idempotence path: a resend of an op whose reply we still have.
+    if (LookupReply(req.tc_id, req.lsn, &reply)) {
+      stats_.reply_cache_hits.fetch_add(1);
+      reply.was_duplicate = true;
+      return reply;
+    }
+  } else {
+    stats_.reads.fetch_add(1);
+  }
+
+  if (req.op == OpType::kCreateTable) {
+    reply = DoCreateTable(req);
+    CacheReply(reply);
+    return reply;
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (;;) {
+    if (crashed_.load()) {
+      reply.status = Status::Crashed("dc went down mid-operation");
+      return reply;
+    }
+    ApplyOutcome outcome;
+    reply = ApplyOnce(req, &outcome);
+    if (outcome.need_split) {
+      Status s = btree_->SplitForInsert(
+          req.table_id, req.key,
+          req.key.size() + req.value.size() + 64);
+      if (!s.ok() && !s.IsBusy()) {
+        reply.status = s;
+        break;
+      }
+      continue;
+    }
+    if (outcome.need_flush_wait || outcome.need_retry) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        reply.status = Status::TimedOut("operation kept deferring");
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      continue;
+    }
+    if (outcome.maybe_consolidate && pool_->ConsolidationSafe()) {
+      // Consolidation is deferred while any TC's redo resend is still
+      // incomplete: replayed SMO images can be time-skewed (a split-
+      // copied abLSN legitimately over-covers sibling-range keys), and
+      // merging such pages mid-redo would fold that over-coverage into
+      // the page the keys route to — making un-reapplied operations
+      // look applied. Once every TC has re-armed (restart-end), each
+      // page again covers exactly what redo has re-established, and the
+      // Â§5.2.2 max/union rule is sound.
+      btree_->TryConsolidate(req.table_id, outcome.consolidate_key);
+    }
+    break;
+  }
+
+  if (is_write && !reply.status.IsBusy() && !reply.status.IsCrashed()) {
+    CacheReply(reply);
+  }
+  return reply;
+}
+
+OperationReply DataComponent::ApplyOnce(const OperationRequest& req,
+                                        ApplyOutcome* out) {
+  OperationReply reply;
+  reply.tc_id = req.tc_id;
+  reply.lsn = req.lsn;
+
+  if (!IsWriteOp(req.op)) {
+    switch (req.op) {
+      case OpType::kRead:
+        return DoRead(req);
+      case OpType::kProbeNext:
+      case OpType::kScanRange:
+        return DoScan(req);
+      default:
+        reply.status = Status::InvalidArgument("unknown read op");
+        return reply;
+    }
+  }
+
+  // Write path. Sentinel first: detects conflicting concurrent sends
+  // (a TC bug) and serializes duplicate resends of the same op.
+  bool duplicate_in_flight = false;
+  if (!EnterSentinel(req, &duplicate_in_flight)) {
+    if (duplicate_in_flight) {
+      out->need_retry = true;
+      reply.status = Status::Busy("duplicate in flight");
+    } else {
+      stats_.conflicts_detected.fetch_add(1);
+      reply.status = Status::Conflict(
+          "concurrent conflicting operation — TC contract violation");
+    }
+    return reply;
+  }
+
+  Frame* leaf = nullptr;
+  Status s = btree_->LocateLeaf(req.table_id, req.key, /*exclusive=*/true,
+                                &leaf);
+  if (!s.ok()) {
+    ExitSentinel(req);
+    reply.status = s;
+    return reply;
+  }
+
+  // Idempotence test (§5.1.2): Operation LSN <= Page abLSN.
+  if (leaf->ablsn.Covers(req.tc_id, req.lsn)) {
+    stats_.duplicate_hits.fetch_add(1);
+    leaf->latch.UnlockExclusive();
+    pool_->Unpin(leaf);
+    ExitSentinel(req);
+    reply.status = Status::OK();
+    reply.was_duplicate = true;
+    return reply;
+  }
+
+  // Page-sync strategy 1 (§5.1.2): while a flush waits for the abLSN to
+  // collapse, refuse operations with LSNs beyond the current in-set.
+  if (leaf->flush_waiting &&
+      req.lsn > leaf->ablsn.MaxCoveredAll()) {
+    leaf->latch.UnlockExclusive();
+    pool_->Unpin(leaf);
+    ExitSentinel(req);
+    out->need_flush_wait = true;
+    reply.status = Status::Busy("page flush pending");
+    return reply;
+  }
+
+  reply = ApplyWriteOnLeaf(req, leaf, out);
+
+  // Record the operation in the abstract LSN on every LOGICAL completion
+  // — including failures (NotFound / AlreadyExists). A failed op's
+  // "effect" is no-effect, and that too must be exactly-once: if it were
+  // re-executed during recovery against a state where APPLIED ops are
+  // skipped by the abLSN test (e.g. after a consolidation whose merged
+  // abLSN covers them), it could succeed the second time and resurrect
+  // or clobber data. Transient refusals (Busy: page full, flush wait)
+  // are NOT recorded — they retry with the same LSN.
+  const bool logical_completion = reply.status.ok() ||
+                                  reply.status.IsNotFound() ||
+                                  reply.status.IsAlreadyExists();
+  if (logical_completion) {
+    leaf->ablsn.Add(req.tc_id, req.lsn);
+  }
+  if (reply.status.ok()) {
+    leaf->dirty = true;
+    if (leaf->first_op_lsn == 0 || req.lsn < leaf->first_op_lsn) {
+      leaf->first_op_lsn = req.lsn;
+    }
+  }
+  leaf->latch.UnlockExclusive();
+  pool_->Unpin(leaf);
+  ExitSentinel(req);
+  return reply;
+}
+
+OperationReply DataComponent::ApplyWriteOnLeaf(const OperationRequest& req,
+                                               Frame* leaf,
+                                               ApplyOutcome* out) {
+  OperationReply reply;
+  reply.tc_id = req.tc_id;
+  reply.lsn = req.lsn;
+  reply.status = Status::OK();
+
+  SlottedPage page = leaf->Page(pool_->page_size(), pool_->trailer_capacity());
+  bool found;
+  const uint16_t slot = BTree::LeafLowerBound(page, req.key, &found);
+  LeafRecord rec;
+  if (found) {
+    LeafRecord::Decode(page.PayloadAt(slot), &rec);
+  }
+
+  auto replace_or_split = [&](const LeafRecord& r) {
+    Status s = page.ReplaceAt(slot, r.Encode());
+    if (s.IsBusy()) {
+      out->need_split = true;
+      reply.status = Status::Busy("page full");
+      return false;
+    }
+    reply.status = s;
+    return s.ok();
+  };
+
+  switch (req.op) {
+    case OpType::kInsert:
+    case OpType::kUpsert: {
+      if (found && !(rec.is_tombstone() && req.versioned &&
+                     rec.last_writer_tc == req.tc_id)) {
+        if (req.op == OpType::kInsert && !rec.is_tombstone()) {
+          reply.status = Status::AlreadyExists("key present");
+          return reply;
+        }
+        if (req.op == OpType::kInsert && rec.is_tombstone()) {
+          // Non-versioned tombstone cannot exist; versioned tombstone of
+          // another TC conflicts — surface as AlreadyExists.
+          reply.status = Status::AlreadyExists("key tombstoned");
+          return reply;
+        }
+        // Upsert over an existing record behaves as update.
+        reply.value = rec.value;
+        reply.has_before = true;
+        if (req.versioned && !rec.has_before()) {
+          rec.before = rec.value;
+          rec.flags |= LeafRecord::kHasBefore;
+        }
+        rec.value = req.value;
+        rec.flags &= ~LeafRecord::kCurrentIsTombstone;
+        rec.last_writer_tc = req.tc_id;
+        replace_or_split(rec);
+        return reply;
+      }
+      if (found) {
+        // Versioned insert over our own uncommitted delete: revive the
+        // record, keeping the original committed before-version.
+        rec.value = req.value;
+        rec.flags &= ~LeafRecord::kCurrentIsTombstone;
+        rec.last_writer_tc = req.tc_id;
+        replace_or_split(rec);
+        return reply;
+      }
+      LeafRecord fresh;
+      fresh.key = req.key;
+      fresh.last_writer_tc = req.tc_id;
+      fresh.value = req.value;
+      if (req.versioned) {
+        // §6.2.2: an insert provides a "null" before version.
+        fresh.flags = LeafRecord::kHasBefore | LeafRecord::kBeforeIsNull;
+      }
+      Status s = page.InsertAt(slot, fresh.Encode());
+      if (s.IsBusy()) {
+        out->need_split = true;
+        reply.status = Status::Busy("page full");
+        return reply;
+      }
+      reply.status = s;
+      return reply;
+    }
+
+    case OpType::kUpdate: {
+      if (!found || rec.is_tombstone()) {
+        reply.status = Status::NotFound("update of missing key");
+        return reply;
+      }
+      reply.value = rec.value;  // before-image: the TC's undo information
+      reply.has_before = true;
+      if (req.versioned && !rec.has_before()) {
+        rec.before = rec.value;
+        rec.flags |= LeafRecord::kHasBefore;
+      }
+      rec.value = req.value;
+      rec.last_writer_tc = req.tc_id;
+      replace_or_split(rec);
+      return reply;
+    }
+
+    case OpType::kDelete: {
+      if (!found || rec.is_tombstone()) {
+        reply.status = Status::NotFound("delete of missing key");
+        return reply;
+      }
+      reply.value = rec.value;
+      reply.has_before = true;
+      if (req.versioned) {
+        if (!rec.has_before()) {
+          rec.before = rec.value;
+          rec.flags |= LeafRecord::kHasBefore;
+        }
+        rec.flags |= LeafRecord::kCurrentIsTombstone;
+        rec.value.clear();
+        rec.last_writer_tc = req.tc_id;
+        replace_or_split(rec);
+      } else {
+        page.RemoveAt(slot);
+      }
+      if (page.FillFraction() < 0.2) {
+        out->maybe_consolidate = true;
+        out->consolidate_key = req.key;
+      }
+      return reply;
+    }
+
+    case OpType::kPromoteVersion: {
+      // Commit-time cleanup (§6.2.2): drop the before version, making the
+      // later version the committed one. Idempotent by construction.
+      if (!found) return reply;
+      if (rec.is_tombstone()) {
+        page.RemoveAt(slot);
+        if (page.FillFraction() < 0.2) {
+          out->maybe_consolidate = true;
+          out->consolidate_key = req.key;
+        }
+        return reply;
+      }
+      if (rec.has_before()) {
+        rec.before.clear();
+        rec.flags &=
+            ~(LeafRecord::kHasBefore | LeafRecord::kBeforeIsNull);
+        replace_or_split(rec);
+      }
+      return reply;
+    }
+
+    case OpType::kRollbackVersion: {
+      // Abort-time cleanup (§6.2.2): remove the latest version.
+      if (!found) return reply;
+      if (rec.has_before()) {
+        if (rec.before_is_null()) {
+          page.RemoveAt(slot);  // undo an uncommitted insert
+        } else {
+          rec.value = rec.before;
+          rec.before.clear();
+          rec.flags &= ~(LeafRecord::kHasBefore | LeafRecord::kBeforeIsNull |
+                         LeafRecord::kCurrentIsTombstone);
+          replace_or_split(rec);
+        }
+      }
+      return reply;
+    }
+
+    default:
+      reply.status = Status::InvalidArgument("unknown write op");
+      return reply;
+  }
+}
+
+OperationReply DataComponent::DoRead(const OperationRequest& req) {
+  OperationReply reply;
+  reply.tc_id = req.tc_id;
+  reply.lsn = req.lsn;
+  Frame* leaf = nullptr;
+  Status s =
+      btree_->LocateLeaf(req.table_id, req.key, /*exclusive=*/false, &leaf);
+  if (!s.ok()) {
+    reply.status = s;
+    return reply;
+  }
+  SlottedPage page = leaf->Page(pool_->page_size(), pool_->trailer_capacity());
+  bool found;
+  const uint16_t slot = BTree::LeafLowerBound(page, req.key, &found);
+  if (!found) {
+    reply.status = Status::NotFound("key absent");
+  } else {
+    LeafRecord rec;
+    LeafRecord::Decode(page.PayloadAt(slot), &rec);
+    std::string value;
+    if (VisibleValue(rec, req.read_flavor, &value)) {
+      reply.status = Status::OK();
+      reply.value = std::move(value);
+    } else {
+      reply.status = Status::NotFound("no visible version");
+    }
+  }
+  leaf->latch.UnlockShared();
+  pool_->Unpin(leaf);
+  return reply;
+}
+
+OperationReply DataComponent::DoScan(const OperationRequest& req) {
+  OperationReply reply;
+  reply.tc_id = req.tc_id;
+  reply.lsn = req.lsn;
+  reply.status = Status::OK();
+  const uint32_t limit =
+      req.limit == 0 ? options_.default_scan_limit : req.limit;
+  const bool probe = (req.op == OpType::kProbeNext);
+
+  std::string resume_key = req.key;
+  bool skip_equal = false;  // resume semantics after a retired page
+
+  for (int restart = 0; restart < 64; ++restart) {
+    Frame* leaf = nullptr;
+    Status s = btree_->LocateLeaf(req.table_id, resume_key,
+                                  /*exclusive=*/false, &leaf);
+    if (!s.ok()) {
+      reply.status = s;
+      return reply;
+    }
+    for (;;) {
+      SlottedPage page =
+          leaf->Page(pool_->page_size(), pool_->trailer_capacity());
+      bool found;
+      uint16_t slot = BTree::LeafLowerBound(page, resume_key, &found);
+      if (found && skip_equal) ++slot;
+      for (uint16_t i = slot; i < page.slot_count(); ++i) {
+        LeafRecord rec;
+        LeafRecord::Decode(page.PayloadAt(i), &rec);
+        if (!req.end_key.empty() &&
+            Slice(rec.key).compare(req.end_key) >= 0) {
+          leaf->latch.UnlockShared();
+          pool_->Unpin(leaf);
+          return reply;
+        }
+        if (probe) {
+          // Probes report every key (locking needs the full picture).
+          reply.keys.push_back(rec.key);
+        } else {
+          std::string value;
+          if (VisibleValue(rec, req.read_flavor, &value)) {
+            reply.keys.push_back(rec.key);
+            reply.values.push_back(std::move(value));
+          }
+        }
+        resume_key = rec.key;
+        skip_equal = true;
+        if (reply.keys.size() >= limit) {
+          leaf->latch.UnlockShared();
+          pool_->Unpin(leaf);
+          return reply;
+        }
+      }
+      // Advance to the right sibling with latch coupling.
+      const PageId next = page.next_page();
+      if (next == kInvalidPageId) {
+        leaf->latch.UnlockShared();
+        pool_->Unpin(leaf);
+        return reply;
+      }
+      Frame* next_frame = nullptr;
+      s = pool_->Fetch(next, &next_frame);
+      if (!s.ok()) {
+        leaf->latch.UnlockShared();
+        pool_->Unpin(leaf);
+        break;  // structure changed; restart from resume_key
+      }
+      next_frame->latch.LockShared();
+      leaf->latch.UnlockShared();
+      pool_->Unpin(leaf);
+      leaf = next_frame;
+      if (leaf->retired) {
+        leaf->latch.UnlockShared();
+        pool_->Unpin(leaf);
+        break;  // restart from resume_key
+      }
+    }
+  }
+  return reply;
+}
+
+OperationReply DataComponent::DoCreateTable(const OperationRequest& req) {
+  OperationReply reply;
+  reply.tc_id = req.tc_id;
+  reply.lsn = req.lsn;
+  Status s = btree_->CreateTable(req.table_id);
+  if (s.IsAlreadyExists()) {
+    reply.status = Status::OK();  // idempotent resend
+    reply.was_duplicate = true;
+  } else {
+    reply.status = s;
+  }
+  return reply;
+}
+
+ControlReply DataComponent::Control(const ControlRequest& req) {
+  ControlReply reply;
+  reply.type = req.type;
+  reply.tc_id = req.tc_id;
+  reply.seq = req.seq;
+  if (crashed_.load()) {
+    reply.status = Status::Crashed("dc is down");
+    return reply;
+  }
+  switch (req.type) {
+    case ControlType::kEndOfStableLog:
+      pool_->OnEndOfStableLog(req.tc_id, req.lsn);
+      reply.status = Status::OK();
+      break;
+    case ControlType::kLowWaterMark:
+      pool_->OnLowWaterMark(req.tc_id, req.lsn);
+      PruneReplies(req.tc_id, req.lsn);
+      reply.status = Status::OK();
+      break;
+    case ControlType::kCheckpoint:
+      reply.status = DoTcCheckpoint(req.tc_id, req.lsn);
+      break;
+    case ControlType::kRestartBegin: {
+      std::vector<TcId> escalate;
+      reply.status = DoReset(req.tc_id, req.lsn, &escalate);
+      reply.escalate_tcs = std::move(escalate);
+      break;
+    }
+    case ControlType::kRestartEnd:
+      // The TC finished its redo resend: its LWM is trustworthy again.
+      pool_->AllowLwm(req.tc_id);
+      reply.status = Status::OK();
+      break;
+    case ControlType::kDcCheckpoint:
+      reply.status = DoDcCheckpoint();
+      break;
+    default:
+      reply.status = Status::InvalidArgument("unknown control type");
+      break;
+  }
+  return reply;
+}
+
+Status DataComponent::DoTcCheckpoint(TcId /*tc*/, Lsn new_rssp) {
+  // "DC will reply once it has made stable all pages that contain
+  // operations whose LSN is below newRSSP" (§4.2.1). The filter uses the
+  // page-global first-op LSN: over-flushing other TCs' pages is harmless.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (;;) {
+    pool_->FlushAllEligible();
+    bool remaining = false;
+    for (PageId pid : pool_->CachedPages()) {
+      Frame* frame = nullptr;
+      if (!pool_->Fetch(pid, &frame).ok()) continue;
+      const bool blocking = frame->dirty && frame->first_op_lsn != 0 &&
+                            frame->first_op_lsn < new_rssp;
+      pool_->Unpin(frame);
+      if (blocking) {
+        remaining = true;
+        break;
+      }
+    }
+    if (!remaining) return Status::OK();
+    if (std::chrono::steady_clock::now() > deadline) {
+      return Status::TimedOut("checkpoint could not flush all pages");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+Status DataComponent::DoDcCheckpoint() {
+  pool_->FlushAllEligible();
+  // The DC log can be truncated below the earliest system-transaction
+  // record still needed by a dirty page.
+  DLsn min_rec = dc_log_->stable_dlsn_end();
+  for (PageId pid : pool_->CachedPages()) {
+    Frame* frame = nullptr;
+    if (!pool_->Fetch(pid, &frame).ok()) continue;
+    if (frame->dirty && frame->rec_dlsn != 0 && frame->rec_dlsn < min_rec) {
+      min_rec = frame->rec_dlsn;
+    }
+    pool_->Unpin(frame);
+  }
+  dc_log_->TruncateBelow(min_rec);
+  return Status::OK();
+}
+
+Status DataComponent::DoReset(TcId tc, Lsn stable_end,
+                              std::vector<TcId>* escalate) {
+  // §5.3.2 / §6.1.2: drop exactly the cached pages whose abLSN includes
+  // operations beyond the failed TC's stable log; on shared pages, reset
+  // only the failed TC's records.
+  std::vector<TcId> escalate_set;
+
+  // Pre-pass: settle the DC log. Batches whose causality floors are met
+  // become stable (their structure survives the reset via replay); the
+  // rest may embed operations the failed TC lost and can never be forced
+  // — discard them AND every cached page they touched, reverting those
+  // pages to their stable versions. Healthy TCs with data on such pages
+  // must resend from their RSSP (escalation).
+  pool_->ForceDcLog();
+  pool_->DisallowLwm(tc);  // re-armed by the TC's restart-end
+  const std::vector<DcLog::PendingBatchInfo> discarded =
+      dc_log_->DiscardPending();
+  for (const auto& batch : discarded) {
+    for (const auto& [other_tc, floor_lsn] : batch.floor) {
+      if (other_tc != tc) escalate_set.push_back(other_tc);
+    }
+    for (PageId pid : batch.pids) {
+      Frame* frame = nullptr;
+      if (!pool_->Fetch(pid, &frame).ok()) continue;
+      frame->latch.LockExclusive();
+      for (const auto& [other_tc, ab] : frame->ablsn.entries()) {
+        if (other_tc != tc) escalate_set.push_back(other_tc);
+      }
+      frame->latch.UnlockExclusive();
+      pool_->Unpin(frame);
+      for (int i = 0; i < 1000 && !pool_->Drop(pid); ++i) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+      stats_.pages_reset_dropped.fetch_add(1);
+    }
+  }
+  for (PageId pid : pool_->CachedPages()) {
+    Frame* frame = nullptr;
+    if (!pool_->Fetch(pid, &frame).ok()) continue;
+    frame->latch.LockExclusive();
+    const Lsn max_for_tc = frame->ablsn.MaxCoveredFor(tc);
+    if (max_for_tc <= stable_end) {
+      frame->latch.UnlockExclusive();
+      pool_->Unpin(frame);
+      continue;
+    }
+    bool drop = false;
+    if (frame->ablsn.TcCount() <= 1) {
+      drop = true;
+      stats_.pages_reset_dropped.fetch_add(1);
+    } else {
+      // Multi-TC page: try the per-record merge against the stable
+      // version; fall back to dropping + escalation.
+      std::vector<char> stable(store_->page_size());
+      Status rs = store_->Read(pid, stable.data());
+      bool merged = false;
+      if (rs.ok()) {
+        SlottedPage stable_page(stable.data(), pool_->page_size(),
+                                pool_->trailer_capacity());
+        SlottedPage cached = frame->Page(pool_->page_size(),
+                                         pool_->trailer_capacity());
+        if (stable_page.dlsn() == cached.dlsn()) {
+          merged = MergeResetLocked(frame, tc, stable);
+        }
+      }
+      if (merged) {
+        stats_.pages_reset_merged.fetch_add(1);
+      } else {
+        drop = true;
+        stats_.reset_escalations.fetch_add(1);
+        for (const auto& [other_tc, ab] : frame->ablsn.entries()) {
+          if (other_tc != tc) escalate_set.push_back(other_tc);
+        }
+      }
+    }
+    frame->latch.UnlockExclusive();
+    pool_->Unpin(frame);
+    if (drop) {
+      // The frame may be briefly pinned by a racing read; retry.
+      for (int i = 0; i < 1000 && !pool_->Drop(pid); ++i) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+  }
+  // Evicted structure pages whose SMOs are on the stable DC log must be
+  // brought back before the TC resends (§5.2.2 ordering).
+  Status s = btree_->ReplayStableSmoBatches();
+  if (!s.ok()) return s;
+
+  std::sort(escalate_set.begin(), escalate_set.end());
+  escalate_set.erase(std::unique(escalate_set.begin(), escalate_set.end()),
+                     escalate_set.end());
+
+  // Invalidate state that describes pre-reset executions: the failed
+  // TC's reply cache (its log tail is gone) and, for every escalated TC,
+  // both the reply cache and the LWM (their page effects were dropped —
+  // stale replies or LWM folding would silently skip their resends).
+  {
+    std::lock_guard<std::mutex> guard(reply_mu_);
+    reply_cache_.erase(tc);
+    for (TcId victim : escalate_set) reply_cache_.erase(victim);
+  }
+  for (TcId victim : escalate_set) pool_->DisallowLwm(victim);
+  *escalate = std::move(escalate_set);
+  return Status::OK();
+}
+
+bool DataComponent::MergeResetLocked(Frame* frame, TcId tc,
+                                     const std::vector<char>& stable) {
+  SlottedPage cached =
+      frame->Page(pool_->page_size(), pool_->trailer_capacity());
+  SlottedPage stable_page(const_cast<char*>(stable.data()),
+                          pool_->page_size(), pool_->trailer_capacity());
+
+  // Index the stable records.
+  std::map<std::string, LeafRecord> stable_recs;
+  for (uint16_t i = 0; i < stable_page.slot_count(); ++i) {
+    LeafRecord rec;
+    if (LeafRecord::Decode(stable_page.PayloadAt(i), &rec)) {
+      stable_recs[rec.key] = std::move(rec);
+    }
+  }
+
+  // Pass 1: records last written by the failed TC revert to (or vanish
+  // into) their stable state.
+  for (uint16_t i = 0; i < cached.slot_count();) {
+    LeafRecord rec;
+    LeafRecord::Decode(cached.PayloadAt(i), &rec);
+    if (rec.last_writer_tc != tc) {
+      ++i;
+      continue;
+    }
+    auto it = stable_recs.find(rec.key);
+    if (it == stable_recs.end()) {
+      cached.RemoveAt(i);
+      continue;  // same index now holds the next slot
+    }
+    if (!cached.ReplaceAt(i, it->second.Encode()).ok()) {
+      return false;  // no space — caller escalates
+    }
+    ++i;
+  }
+  // Pass 2: stable records of the failed TC missing from the cache
+  // (a delete whose log record was lost) come back.
+  for (const auto& [key, rec] : stable_recs) {
+    if (rec.last_writer_tc != tc) continue;
+    bool found;
+    const uint16_t slot = BTree::LeafLowerBound(cached, key, &found);
+    if (!found) {
+      if (!cached.InsertAt(slot, rec.Encode()).ok()) {
+        return false;
+      }
+    }
+  }
+
+  // The failed TC's abstract LSN reverts to what the stable page records.
+  Slice trailer = stable_page.ReadTrailer();
+  PageAbLsn stable_ab;
+  if (!trailer.empty()) PageAbLsn::DecodeFrom(&trailer, &stable_ab);
+  const AbstractLsn* stable_entry = stable_ab.Find(tc);
+  if (stable_entry != nullptr) {
+    frame->ablsn.Set(tc, *stable_entry);
+  } else {
+    frame->ablsn.Erase(tc);
+  }
+  frame->dirty = true;
+  return true;
+}
+
+void DataComponent::CacheReply(const OperationReply& reply) {
+  std::lock_guard<std::mutex> guard(reply_mu_);
+  reply_cache_[reply.tc_id][reply.lsn] = reply;
+}
+
+bool DataComponent::LookupReply(TcId tc, Lsn lsn, OperationReply* out) {
+  std::lock_guard<std::mutex> guard(reply_mu_);
+  auto tc_it = reply_cache_.find(tc);
+  if (tc_it == reply_cache_.end()) return false;
+  auto it = tc_it->second.find(lsn);
+  if (it == tc_it->second.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void DataComponent::PruneReplies(TcId tc, Lsn lwm) {
+  std::lock_guard<std::mutex> guard(reply_mu_);
+  auto tc_it = reply_cache_.find(tc);
+  if (tc_it == reply_cache_.end()) return;
+  auto& per_lsn = tc_it->second;
+  per_lsn.erase(per_lsn.begin(), per_lsn.upper_bound(lwm));
+}
+
+bool DataComponent::EnterSentinel(const OperationRequest& req,
+                                  bool* duplicate_in_flight) {
+  *duplicate_in_flight = false;
+  if (!options_.conflict_sentinel) return true;
+  std::lock_guard<std::mutex> guard(sentinel_mu_);
+  const std::string key = SentinelKey(req.table_id, req.key);
+  auto [it, inserted] = in_flight_.try_emplace(key, req.tc_id, req.lsn);
+  if (inserted) return true;
+  if (it->second == std::make_pair(req.tc_id, req.lsn)) {
+    *duplicate_in_flight = true;  // a resend racing the original
+  }
+  return false;
+}
+
+void DataComponent::ExitSentinel(const OperationRequest& req) {
+  if (!options_.conflict_sentinel) return;
+  std::lock_guard<std::mutex> guard(sentinel_mu_);
+  in_flight_.erase(SentinelKey(req.table_id, req.key));
+}
+
+}  // namespace untx

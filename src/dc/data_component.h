@@ -1,0 +1,162 @@
+// DataComponent: the DC of the unbundled kernel (§4.1.2).
+//
+// "The DC acts as a server for requests from the TC. It is responsible
+// for organizing, searching, updating, caching and durability for the
+// data in the database. It supports a non-transactional, record oriented
+// interface."
+//
+// Responsibilities implemented here:
+//  * atomic logical record operations over the B-tree (page latches held
+//    for the duration of one operation only);
+//  * idempotence via abstract page LSNs + a volatile reply cache pruned
+//    by the TC's low-water mark, so resends return the original result;
+//  * record versioning (before-versions) for cross-TC read committed
+//    (§6.2.2), with promote/rollback version operations;
+//  * the control half of the TC:DC contract: EOSL, LWM, checkpoint,
+//    restart/reset, DC-local checkpoint;
+//  * crash (lose buffer pool, reply caches, volatile DC log) and recovery
+//    (replay committed SMOs *before* any TC redo, §5.2.2);
+//  * the TC-crash page reset of §5.3.2/§6.1.2: evict exactly the cached
+//    pages whose abLSN covers operations beyond the failed TC's stable
+//    log; on multi-TC pages, reset only the failed TC's records.
+//
+// A debug "conflict sentinel" asserts the TC obligation that no two
+// conflicting operations are ever in flight concurrently (§1.2).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "dc/btree.h"
+#include "dc/buffer_pool.h"
+#include "dc/dc_api.h"
+#include "dc/dc_log.h"
+#include "storage/stable_store.h"
+
+namespace untx {
+
+struct DataComponentOptions {
+  BufferPoolOptions buffer_pool;
+  BTreeOptions btree;
+  StableLogOptions dc_log;
+  /// Debug-mode check that the TC never sends concurrent conflicting ops.
+  bool conflict_sentinel = true;
+  /// Upper bound on value size; several records must fit per page.
+  uint32_t max_value_size = 1024;
+  /// Default result bound for scans/probes when the request says 0.
+  uint32_t default_scan_limit = 256;
+};
+
+struct DataComponentStats {
+  std::atomic<uint64_t> ops{0};
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> duplicate_hits{0};   ///< idempotence filter hits
+  std::atomic<uint64_t> reply_cache_hits{0};
+  std::atomic<uint64_t> conflicts_detected{0};
+  std::atomic<uint64_t> pages_reset_dropped{0};
+  std::atomic<uint64_t> pages_reset_merged{0};
+  std::atomic<uint64_t> reset_escalations{0};
+};
+
+class DataComponent : public DcService {
+ public:
+  DataComponent(StableStore* store, DataComponentOptions options = {});
+  ~DataComponent() override;
+
+  /// Formats a fresh store (meta page). Call exactly once per store.
+  Status Initialize();
+
+  /// Post-crash recovery phase 1: make the search structures well-formed
+  /// by replaying committed system transactions — must complete before
+  /// the TC performs redo (§5.2.2). The TC then resends from its RSSP.
+  Status Recover();
+
+  /// Simulated crash: loses the buffer pool, reply caches and the
+  /// volatile DC-log tail. Blocks new operations until Restore().
+  void Crash();
+
+  /// Powers the component back up (still needs Recover()).
+  void Restore();
+
+  bool crashed() const { return crashed_.load(); }
+
+  // -- DcService ------------------------------------------------------------
+  OperationReply Perform(const OperationRequest& req) override;
+  ControlReply Control(const ControlRequest& req) override;
+
+  // -- Introspection (tests, benches, wired deployments) ---------------------
+  BufferPool* pool() { return pool_.get(); }
+  BTree* btree() { return btree_.get(); }
+  DcLog* dc_log() { return dc_log_.get(); }
+  StableStore* store() { return store_; }
+  const DataComponentStats& stats() const { return stats_; }
+  const DataComponentOptions& options() const { return options_; }
+
+ private:
+  struct ApplyOutcome {
+    bool need_split = false;
+    bool need_flush_wait = false;
+    bool need_retry = false;
+    bool maybe_consolidate = false;
+    std::string consolidate_key;
+  };
+
+  OperationReply ApplyOnce(const OperationRequest& req, ApplyOutcome* out);
+  OperationReply DoRead(const OperationRequest& req);
+  OperationReply DoScan(const OperationRequest& req);
+  OperationReply DoCreateTable(const OperationRequest& req);
+
+  /// Write-op application on a latched leaf. Returns the reply; sets
+  /// outcome flags for split/consolidate needs.
+  OperationReply ApplyWriteOnLeaf(const OperationRequest& req, Frame* leaf,
+                                  ApplyOutcome* out);
+
+  Status DoTcCheckpoint(TcId tc, Lsn new_rssp);
+  Status DoDcCheckpoint();
+  Status DoReset(TcId tc, Lsn stable_end, std::vector<TcId>* escalate);
+
+  /// Per-record reset of a multi-TC page against its stable version
+  /// (§6.1.2). Caller holds the exclusive latch. Returns false if the
+  /// merge could not be performed (caller escalates).
+  bool MergeResetLocked(Frame* frame, TcId tc, const std::vector<char>& stable);
+
+  // Reply cache.
+  void CacheReply(const OperationReply& reply);
+  bool LookupReply(TcId tc, Lsn lsn, OperationReply* out);
+  void PruneReplies(TcId tc, Lsn lwm);
+
+  // Conflict sentinel.
+  bool EnterSentinel(const OperationRequest& req, bool* duplicate_in_flight);
+  void ExitSentinel(const OperationRequest& req);
+
+  StableStore* store_;
+  DataComponentOptions options_;
+  std::unique_ptr<DcLog> dc_log_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<BTree> btree_;
+
+  std::atomic<bool> crashed_{false};
+  std::atomic<int> active_ops_{0};
+  std::mutex quiesce_mu_;
+  std::condition_variable quiesce_cv_;
+
+  std::mutex reply_mu_;
+  std::map<TcId, std::map<Lsn, OperationReply>> reply_cache_;
+
+  std::mutex sentinel_mu_;
+  // (table|key) -> (tc, lsn) of the in-flight conflicting op.
+  std::unordered_map<std::string, std::pair<TcId, Lsn>> in_flight_;
+
+  DataComponentStats stats_;
+};
+
+}  // namespace untx

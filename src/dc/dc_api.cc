@@ -1,0 +1,173 @@
+#include "dc/dc_api.h"
+
+#include "common/coding.h"
+
+namespace untx {
+
+void OperationRequest::EncodeTo(std::string* dst) const {
+  PutFixed16(dst, tc_id);
+  PutVarint64(dst, lsn);
+  dst->push_back(static_cast<char>(op));
+  PutVarint32(dst, table_id);
+  PutLengthPrefixedSlice(dst, key);
+  PutLengthPrefixedSlice(dst, value);
+  dst->push_back(static_cast<char>(read_flavor));
+  PutVarint32(dst, limit);
+  PutLengthPrefixedSlice(dst, end_key);
+  dst->push_back(static_cast<char>((versioned ? 1 : 0) |
+                                   (recovery_resend ? 2 : 0)));
+}
+
+bool OperationRequest::DecodeFrom(Slice* input, OperationRequest* out) {
+  uint16_t tc;
+  uint64_t lsn;
+  uint32_t table;
+  Slice key, value, end_key;
+  if (!GetFixed16(input, &tc)) return false;
+  if (!GetVarint64(input, &lsn)) return false;
+  if (input->empty()) return false;
+  out->op = static_cast<OpType>((*input)[0]);
+  input->remove_prefix(1);
+  if (!GetVarint32(input, &table)) return false;
+  if (!GetLengthPrefixedSlice(input, &key)) return false;
+  if (!GetLengthPrefixedSlice(input, &value)) return false;
+  if (input->empty()) return false;
+  out->read_flavor = static_cast<ReadFlavor>((*input)[0]);
+  input->remove_prefix(1);
+  if (!GetVarint32(input, &out->limit)) return false;
+  if (!GetLengthPrefixedSlice(input, &end_key)) return false;
+  if (input->empty()) return false;
+  const uint8_t flags = static_cast<uint8_t>((*input)[0]);
+  input->remove_prefix(1);
+  out->tc_id = tc;
+  out->lsn = lsn;
+  out->table_id = table;
+  out->key = key.ToString();
+  out->value = value.ToString();
+  out->end_key = end_key.ToString();
+  out->versioned = (flags & 1) != 0;
+  out->recovery_resend = (flags & 2) != 0;
+  return true;
+}
+
+void OperationReply::EncodeTo(std::string* dst) const {
+  PutFixed16(dst, tc_id);
+  PutVarint64(dst, lsn);
+  dst->push_back(static_cast<char>(StatusCodeToByte(status.code())));
+  PutLengthPrefixedSlice(dst, status.message());
+  PutLengthPrefixedSlice(dst, value);
+  dst->push_back(static_cast<char>((has_before ? 1 : 0) |
+                                   (was_duplicate ? 2 : 0)));
+  PutVarint32(dst, static_cast<uint32_t>(keys.size()));
+  for (const auto& k : keys) PutLengthPrefixedSlice(dst, k);
+  PutVarint32(dst, static_cast<uint32_t>(values.size()));
+  for (const auto& v : values) PutLengthPrefixedSlice(dst, v);
+}
+
+bool OperationReply::DecodeFrom(Slice* input, OperationReply* out) {
+  uint16_t tc;
+  uint64_t lsn;
+  if (!GetFixed16(input, &tc)) return false;
+  if (!GetVarint64(input, &lsn)) return false;
+  if (input->empty()) return false;
+  const uint8_t code = static_cast<uint8_t>((*input)[0]);
+  input->remove_prefix(1);
+  Slice msg, value;
+  if (!GetLengthPrefixedSlice(input, &msg)) return false;
+  if (!GetLengthPrefixedSlice(input, &value)) return false;
+  if (input->empty()) return false;
+  const uint8_t flags = static_cast<uint8_t>((*input)[0]);
+  input->remove_prefix(1);
+  uint32_t nkeys;
+  if (!GetVarint32(input, &nkeys)) return false;
+  out->keys.clear();
+  out->keys.reserve(nkeys);
+  for (uint32_t i = 0; i < nkeys; ++i) {
+    Slice k;
+    if (!GetLengthPrefixedSlice(input, &k)) return false;
+    out->keys.push_back(k.ToString());
+  }
+  uint32_t nvalues;
+  if (!GetVarint32(input, &nvalues)) return false;
+  out->values.clear();
+  out->values.reserve(nvalues);
+  for (uint32_t i = 0; i < nvalues; ++i) {
+    Slice v;
+    if (!GetLengthPrefixedSlice(input, &v)) return false;
+    out->values.push_back(v.ToString());
+  }
+  out->tc_id = tc;
+  out->lsn = lsn;
+  out->status = StatusFromByte(code, msg.ToString());
+  out->value = value.ToString();
+  out->has_before = (flags & 1) != 0;
+  out->was_duplicate = (flags & 2) != 0;
+  return true;
+}
+
+void ControlRequest::EncodeTo(std::string* dst) const {
+  dst->push_back(static_cast<char>(type));
+  PutFixed16(dst, tc_id);
+  PutVarint64(dst, lsn);
+  PutVarint64(dst, seq);
+}
+
+bool ControlRequest::DecodeFrom(Slice* input, ControlRequest* out) {
+  if (input->empty()) return false;
+  out->type = static_cast<ControlType>((*input)[0]);
+  input->remove_prefix(1);
+  if (!GetFixed16(input, &out->tc_id)) return false;
+  if (!GetVarint64(input, &out->lsn)) return false;
+  if (!GetVarint64(input, &out->seq)) return false;
+  return true;
+}
+
+void ControlReply::EncodeTo(std::string* dst) const {
+  dst->push_back(static_cast<char>(type));
+  PutFixed16(dst, tc_id);
+  PutVarint64(dst, seq);
+  dst->push_back(static_cast<char>(StatusCodeToByte(status.code())));
+  PutLengthPrefixedSlice(dst, status.message());
+  PutVarint32(dst, static_cast<uint32_t>(escalate_tcs.size()));
+  for (TcId tc : escalate_tcs) PutFixed16(dst, tc);
+}
+
+bool ControlReply::DecodeFrom(Slice* input, ControlReply* out) {
+  if (input->empty()) return false;
+  out->type = static_cast<ControlType>((*input)[0]);
+  input->remove_prefix(1);
+  if (!GetFixed16(input, &out->tc_id)) return false;
+  if (!GetVarint64(input, &out->seq)) return false;
+  if (input->empty()) return false;
+  const uint8_t code = static_cast<uint8_t>((*input)[0]);
+  input->remove_prefix(1);
+  Slice msg;
+  if (!GetLengthPrefixedSlice(input, &msg)) return false;
+  out->status = StatusFromByte(code, msg.ToString());
+  uint32_t n;
+  if (!GetVarint32(input, &n)) return false;
+  out->escalate_tcs.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    uint16_t tc;
+    if (!GetFixed16(input, &tc)) return false;
+    out->escalate_tcs.push_back(tc);
+  }
+  return true;
+}
+
+std::string WrapMessage(MessageKind kind, const std::string& body) {
+  std::string wire;
+  wire.reserve(body.size() + 1);
+  wire.push_back(static_cast<char>(kind));
+  wire.append(body);
+  return wire;
+}
+
+bool UnwrapMessage(const std::string& wire, MessageKind* kind, Slice* body) {
+  if (wire.empty()) return false;
+  *kind = static_cast<MessageKind>(wire[0]);
+  *body = Slice(wire.data() + 1, wire.size() - 1);
+  return true;
+}
+
+}  // namespace untx

@@ -1,0 +1,119 @@
+// The TC:DC interface (§4.2.1): perform_operation, end_of_stable_log,
+// checkpoint, low_water_mark, restart — expressed as serializable message
+// structs so the same API runs over a direct call path (multi-core
+// deployment) or over simulated cloud channels (asynchronous messages).
+//
+// An operation request deliberately carries NO transaction identity: "the
+// information given to DC does not carry any information about the user
+// transaction of which it is a part, nor does DC know whether this
+// operation is done as forward activity, or as an inverse during rollback".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace untx {
+
+/// A logical record operation from a TC. (tc_id, lsn) is the globally
+/// unique request id; resends reuse it (§4.2 "Unique request IDs").
+struct OperationRequest {
+  TcId tc_id = 0;
+  Lsn lsn = kInvalidLsn;
+  OpType op = OpType::kRead;
+  TableId table_id = kInvalidTableId;
+  std::string key;
+  std::string value;
+  ReadFlavor read_flavor = ReadFlavor::kOwn;
+  /// kProbeNext / kScanRange: max number of keys to return.
+  uint32_t limit = 0;
+  /// kScanRange: exclusive upper bound; empty = unbounded.
+  std::string end_key;
+  /// Writes: keep a before-version for cross-TC read committed (§6.2.2).
+  bool versioned = false;
+  /// Set on recovery resends: the TC only needs an ack, not undo info.
+  bool recovery_resend = false;
+
+  void EncodeTo(std::string* dst) const;
+  static bool DecodeFrom(Slice* input, OperationRequest* out);
+};
+
+/// Reply to one OperationRequest, correlated by (tc_id, lsn).
+struct OperationReply {
+  TcId tc_id = 0;
+  Lsn lsn = kInvalidLsn;
+  Status status;
+  /// Read: the value. Update/Delete/Upsert: the before-value (undo info).
+  std::string value;
+  /// True if `value` carries a meaningful before-image.
+  bool has_before = false;
+  /// True if the DC detected the request as already applied (idempotence
+  /// hit) rather than executing it now. Diagnostic only.
+  bool was_duplicate = false;
+  /// kProbeNext / kScanRange results.
+  std::vector<std::string> keys;
+  std::vector<std::string> values;
+
+  void EncodeTo(std::string* dst) const;
+  static bool DecodeFrom(Slice* input, OperationReply* out);
+};
+
+/// Control verbs of the TC:DC contract.
+enum class ControlType : uint8_t {
+  kEndOfStableLog = 1,  ///< EOSL: TC log stable through this LSN (WAL).
+  kLowWaterMark = 2,    ///< LWM: TC has replies for all LSNs <= arg (§5.1.2).
+  kCheckpoint = 3,      ///< newRSSP: flush pages with ops below it (§4.2.1).
+  kRestartBegin = 4,    ///< TC restart: arg = LSNst (stable TC log end).
+  kRestartEnd = 5,      ///< TC restart finished; resume normal service.
+  kDcCheckpoint = 6,    ///< Ask the DC to take a local checkpoint.
+};
+
+struct ControlRequest {
+  ControlType type = ControlType::kEndOfStableLog;
+  TcId tc_id = 0;
+  Lsn lsn = kInvalidLsn;  ///< EOSL / LWM / newRSSP / LSNst, per type.
+  uint64_t seq = 0;       ///< Correlation id for the reply.
+
+  void EncodeTo(std::string* dst) const;
+  static bool DecodeFrom(Slice* input, ControlRequest* out);
+};
+
+struct ControlReply {
+  ControlType type = ControlType::kEndOfStableLog;
+  TcId tc_id = 0;
+  uint64_t seq = 0;
+  Status status;
+  /// kRestartBegin: TCs whose pages had to be dropped during the failed
+  /// TC's reset and therefore must also resend from their RSSP (the
+  /// escalation case of §6.1.2; normally empty).
+  std::vector<TcId> escalate_tcs;
+
+  void EncodeTo(std::string* dst) const;
+  static bool DecodeFrom(Slice* input, ControlReply* out);
+};
+
+/// Transport envelope: one byte of message kind, then the body.
+enum class MessageKind : uint8_t {
+  kOperationRequest = 1,
+  kOperationReply = 2,
+  kControlRequest = 3,
+  kControlReply = 4,
+};
+
+std::string WrapMessage(MessageKind kind, const std::string& body);
+bool UnwrapMessage(const std::string& wire, MessageKind* kind, Slice* body);
+
+/// Server-side view of a DC the TC can talk to. Implemented by
+/// dc::DataComponent (direct) and by kernel transports (channels).
+class DcService {
+ public:
+  virtual ~DcService() = default;
+  virtual OperationReply Perform(const OperationRequest& req) = 0;
+  virtual ControlReply Control(const ControlRequest& req) = 0;
+};
+
+}  // namespace untx

@@ -1,0 +1,63 @@
+#include "dc/record_format.h"
+
+#include "common/coding.h"
+
+namespace untx {
+
+std::string LeafRecord::Encode() const {
+  std::string out;
+  PutLengthPrefixedSlice(&out, key);
+  PutFixed16(&out, last_writer_tc);
+  out.push_back(static_cast<char>(flags));
+  PutLengthPrefixedSlice(&out, value);
+  if (has_before()) {
+    PutLengthPrefixedSlice(&out, before);
+  }
+  return out;
+}
+
+bool LeafRecord::Decode(Slice payload, LeafRecord* out) {
+  Slice key, value;
+  if (!GetLengthPrefixedSlice(&payload, &key)) return false;
+  if (!GetFixed16(&payload, &out->last_writer_tc)) return false;
+  if (payload.empty()) return false;
+  out->flags = static_cast<uint8_t>(payload[0]);
+  payload.remove_prefix(1);
+  if (!GetLengthPrefixedSlice(&payload, &value)) return false;
+  out->key = key.ToString();
+  out->value = value.ToString();
+  out->before.clear();
+  if (out->has_before()) {
+    Slice before;
+    if (!GetLengthPrefixedSlice(&payload, &before)) return false;
+    out->before = before.ToString();
+  }
+  return true;
+}
+
+bool LeafRecord::DecodeKey(Slice payload, Slice* key) {
+  return GetLengthPrefixedSlice(&payload, key);
+}
+
+std::string InternalEntry::Encode() const {
+  std::string out;
+  PutLengthPrefixedSlice(&out, separator);
+  PutFixed32(&out, child);
+  return out;
+}
+
+bool InternalEntry::Decode(Slice payload, InternalEntry* out) {
+  Slice sep;
+  if (!GetLengthPrefixedSlice(&payload, &sep)) return false;
+  uint32_t child;
+  if (!GetFixed32(&payload, &child)) return false;
+  out->separator = sep.ToString();
+  out->child = child;
+  return true;
+}
+
+bool InternalEntry::DecodeKey(Slice payload, Slice* key) {
+  return GetLengthPrefixedSlice(&payload, key);
+}
+
+}  // namespace untx

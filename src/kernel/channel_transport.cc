@@ -1,0 +1,95 @@
+#include "kernel/channel_transport.h"
+
+namespace untx {
+
+ChannelTransport::ChannelTransport(DataComponent* dc,
+                                   ChannelTransportOptions options)
+    : dc_(dc),
+      options_(options),
+      request_ch_(options.request_channel),
+      reply_ch_(options.reply_channel),
+      client_(this) {}
+
+ChannelTransport::~ChannelTransport() { Stop(); }
+
+void ChannelTransport::Start() {
+  stop_.store(false);
+  for (int i = 0; i < options_.server_threads; ++i) {
+    servers_.emplace_back([this] { ServerLoop(); });
+  }
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+void ChannelTransport::Stop() {
+  stop_.store(true);
+  for (auto& t : servers_) {
+    if (t.joinable()) t.join();
+  }
+  servers_.clear();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void ChannelTransport::OnDcCrash() { request_ch_.Clear(); }
+
+void ChannelTransport::Client::SendOperation(const OperationRequest& req) {
+  std::string body;
+  req.EncodeTo(&body);
+  transport_->request_ch_.Send(
+      WrapMessage(MessageKind::kOperationRequest, body));
+}
+
+void ChannelTransport::Client::SendControl(const ControlRequest& req) {
+  std::string body;
+  req.EncodeTo(&body);
+  transport_->request_ch_.Send(
+      WrapMessage(MessageKind::kControlRequest, body));
+}
+
+void ChannelTransport::ServerLoop() {
+  std::string wire;
+  while (!stop_.load()) {
+    if (!request_ch_.Receive(&wire, 20)) continue;
+    MessageKind kind;
+    Slice body;
+    if (!UnwrapMessage(wire, &kind, &body)) continue;
+    if (kind == MessageKind::kOperationRequest) {
+      OperationRequest req;
+      if (!OperationRequest::DecodeFrom(&body, &req)) continue;
+      OperationReply reply = dc_->Perform(req);
+      // A crashed DC sends nothing — its reply dies with it.
+      if (reply.status.IsCrashed()) continue;
+      std::string out;
+      reply.EncodeTo(&out);
+      reply_ch_.Send(WrapMessage(MessageKind::kOperationReply, out));
+    } else if (kind == MessageKind::kControlRequest) {
+      ControlRequest req;
+      if (!ControlRequest::DecodeFrom(&body, &req)) continue;
+      ControlReply reply = dc_->Control(req);
+      if (reply.status.IsCrashed()) continue;
+      std::string out;
+      reply.EncodeTo(&out);
+      reply_ch_.Send(WrapMessage(MessageKind::kControlReply, out));
+    }
+  }
+}
+
+void ChannelTransport::DispatchLoop() {
+  std::string wire;
+  while (!stop_.load()) {
+    if (!reply_ch_.Receive(&wire, 20)) continue;
+    MessageKind kind;
+    Slice body;
+    if (!UnwrapMessage(wire, &kind, &body)) continue;
+    if (kind == MessageKind::kOperationReply) {
+      OperationReply reply;
+      if (!OperationReply::DecodeFrom(&body, &reply)) continue;
+      if (client_.op_handler()) client_.op_handler()(reply);
+    } else if (kind == MessageKind::kControlReply) {
+      ControlReply reply;
+      if (!ControlReply::DecodeFrom(&body, &reply)) continue;
+      if (client_.control_handler()) client_.control_handler()(reply);
+    }
+  }
+}
+
+}  // namespace untx

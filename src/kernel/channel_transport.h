@@ -1,0 +1,70 @@
+// ChannelTransport: the "cloud" binding of the TC:DC interface — a pair
+// of simulated message channels plus DC server threads and a TC-side
+// reply dispatcher. Message loss, duplication and reordering on either
+// channel exercise the §4.2 interaction contracts end to end.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "dc/data_component.h"
+#include "net/sim_channel.h"
+#include "tc/dc_client.h"
+
+namespace untx {
+
+struct ChannelTransportOptions {
+  ChannelOptions request_channel;
+  ChannelOptions reply_channel;
+  int server_threads = 2;
+};
+
+/// Owns the channels and threads binding one TC to one DC.
+class ChannelTransport {
+ public:
+  ChannelTransport(DataComponent* dc, ChannelTransportOptions options);
+  ~ChannelTransport();
+
+  DcClient* client() { return &client_; }
+
+  void Start();
+  void Stop();
+
+  /// Drops all in-flight requests (the DC crashed; its inbox dies with
+  /// it). Replies already on the wire still arrive.
+  void OnDcCrash();
+
+  const SimChannel& request_channel() const { return request_ch_; }
+  const SimChannel& reply_channel() const { return reply_ch_; }
+
+ private:
+  class Client : public DcClient {
+   public:
+    explicit Client(ChannelTransport* transport) : transport_(transport) {}
+    void SendOperation(const OperationRequest& req) override;
+    void SendControl(const ControlRequest& req) override;
+    DcClient::OpReplyHandler op_handler() const { return op_handler_; }
+    DcClient::ControlReplyHandler control_handler() const {
+      return control_handler_;
+    }
+
+   private:
+    ChannelTransport* transport_;
+  };
+
+  void ServerLoop();
+  void DispatchLoop();
+
+  DataComponent* dc_;
+  ChannelTransportOptions options_;
+  SimChannel request_ch_;
+  SimChannel reply_ch_;
+  Client client_;
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> servers_;
+  std::thread dispatcher_;
+};
+
+}  // namespace untx

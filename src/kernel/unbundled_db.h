@@ -1,0 +1,140 @@
+// UnbundledDb: wiring facade for one-TC deployments of the unbundled
+// kernel — one TransactionComponent, one or more DataComponents, bound by
+// either the direct (multi-core) or the channel (cloud) transport. Multi-
+// TC deployments (Figure 2) are assembled by cloud::Deployment instead.
+//
+// Also the fault-injection surface: CrashDc / RecoverDc, CrashTc /
+// RestartTc drive the §5.3 partial-failure protocols end to end.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/status_or.h"
+#include "dc/data_component.h"
+#include "kernel/channel_transport.h"
+#include "storage/stable_store.h"
+#include "tc/dc_client.h"
+#include "tc/transaction_component.h"
+
+namespace untx {
+
+enum class TransportKind : uint8_t { kDirect = 0, kChannel = 1 };
+
+struct UnbundledDbOptions {
+  int num_dcs = 1;
+  TcOptions tc;
+  DataComponentOptions dc;
+  StableStoreOptions store;
+  TransportKind transport = TransportKind::kDirect;
+  ChannelTransportOptions channel;
+  /// Routes tables/keys to DCs; default: table_id % num_dcs.
+  Router router;
+};
+
+class UnbundledDb {
+ public:
+  /// Builds and starts a fresh deployment (formats the stores).
+  static StatusOr<std::unique_ptr<UnbundledDb>> Open(
+      UnbundledDbOptions options);
+
+  ~UnbundledDb();
+
+  TransactionComponent* tc() { return tc_.get(); }
+  DataComponent* dc(int i = 0) { return dcs_[i].get(); }
+  StableStore* store(int i = 0) { return stores_[i].get(); }
+  int num_dcs() const { return static_cast<int>(dcs_.size()); }
+
+  // -- Convenience transaction API ---------------------------------------------
+  StatusOr<TxnId> Begin() { return tc_->Begin(); }
+  Status Commit(TxnId txn) { return tc_->Commit(txn); }
+  Status Abort(TxnId txn) { return tc_->Abort(txn); }
+  Status CreateTable(TableId table) { return tc_->CreateTable(table); }
+
+  // -- Fault injection -----------------------------------------------------------
+  /// Kills DC i: its cache, reply caches and volatile DC-log tail vanish;
+  /// in-flight requests to it are dropped.
+  void CrashDc(int i);
+  /// Revives DC i: local SMO recovery first (§5.2.2), then the TC
+  /// redo-resends from the RSSP (§5.3.2 "DC Failure").
+  Status RecoverDc(int i);
+
+  /// Kills the TC: volatile log tail, transaction state and locks vanish.
+  void CrashTc();
+  /// TC restart per §5.3.2 "TC Failure".
+  Status RestartTc();
+
+ private:
+  UnbundledDb() = default;
+
+  UnbundledDbOptions options_;
+  std::vector<std::unique_ptr<StableStore>> stores_;
+  std::vector<std::unique_ptr<DataComponent>> dcs_;
+  std::vector<std::unique_ptr<DirectDcClient>> direct_clients_;
+  std::vector<std::unique_ptr<ChannelTransport>> channel_transports_;
+  std::unique_ptr<TransactionComponent> tc_;
+};
+
+/// RAII transaction helper: aborts on destruction unless committed.
+class Txn {
+ public:
+  explicit Txn(TransactionComponent* tc) : tc_(tc) {
+    StatusOr<TxnId> id = tc_->Begin();
+    if (id.ok()) {
+      id_ = *id;
+    } else {
+      status_ = id.status();
+    }
+  }
+  ~Txn() {
+    if (id_ != kInvalidTxnId && !finished_) tc_->Abort(id_);
+  }
+  Txn(const Txn&) = delete;
+  Txn& operator=(const Txn&) = delete;
+
+  bool ok() const { return status_.ok(); }
+  TxnId id() const { return id_; }
+
+  Status Read(TableId table, const std::string& key, std::string* value) {
+    return tc_->Read(id_, table, key, value);
+  }
+  Status Insert(TableId table, const std::string& key,
+                const std::string& value) {
+    return tc_->Insert(id_, table, key, value);
+  }
+  Status Update(TableId table, const std::string& key,
+                const std::string& value) {
+    return tc_->Update(id_, table, key, value);
+  }
+  Status Delete(TableId table, const std::string& key) {
+    return tc_->Delete(id_, table, key);
+  }
+  Status Upsert(TableId table, const std::string& key,
+                const std::string& value) {
+    return tc_->Upsert(id_, table, key, value);
+  }
+  Status Scan(TableId table, const std::string& from, const std::string& to,
+              uint32_t limit,
+              std::vector<std::pair<std::string, std::string>>* out) {
+    return tc_->Scan(id_, table, from, to, limit, out);
+  }
+
+  Status Commit() {
+    finished_ = true;
+    return tc_->Commit(id_);
+  }
+  Status Abort() {
+    finished_ = true;
+    return tc_->Abort(id_);
+  }
+
+ private:
+  TransactionComponent* tc_;
+  TxnId id_ = kInvalidTxnId;
+  Status status_;
+  bool finished_ = false;
+};
+
+}  // namespace untx

@@ -1,0 +1,163 @@
+// MonolithicEngine: the integrated "traditional storage kernel" baseline
+// the paper compares against (§7: "compared to a traditional storage
+// kernel with integrated transaction management, our unbundling approach
+// inevitably has longer code paths").
+//
+// Classic ARIES-style bundle in one address space:
+//  * lock manager (shared with the TC implementation — same 2PL code);
+//  * physiological WAL: each record names the page it touches; LSNs are
+//    assigned while the page latch is held, so the traditional
+//    "Operation LSN <= page LSN" idempotence test works;
+//  * buffer pool with the WAL rule (flush only up to the stable log);
+//  * B-tree access method with structure modifications as redo-only
+//    nested top actions (physical page images).
+//
+// Failure model: fail-together. Crash() loses the buffer pool and the
+// volatile log tail at once; Recover() runs analysis / redo-repeat-
+// history / undo-losers with CLRs.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/status_or.h"
+#include "common/types.h"
+#include "storage/slotted_page.h"
+#include "storage/stable_store.h"
+#include "tc/lock_manager.h"
+#include "wal/stable_log.h"
+
+namespace untx {
+namespace monolithic {
+
+struct EngineOptions {
+  LockManagerOptions locks;
+  StableLogOptions log;
+  bool group_commit = false;
+  uint32_t group_commit_interval_us = 200;
+};
+
+struct EngineStats {
+  uint64_t ops = 0;
+  uint64_t splits = 0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t recoveries = 0;
+};
+
+class MonolithicEngine {
+ public:
+  MonolithicEngine(StableStore* store, EngineOptions options = {});
+  ~MonolithicEngine();
+
+  Status Initialize();
+  Status CreateTable(TableId table);
+
+  StatusOr<TxnId> Begin();
+  Status Commit(TxnId txn);
+  Status Abort(TxnId txn);
+
+  Status Read(TxnId txn, TableId table, const std::string& key,
+              std::string* value);
+  Status Insert(TxnId txn, TableId table, const std::string& key,
+                const std::string& value);
+  Status Update(TxnId txn, TableId table, const std::string& key,
+                const std::string& value);
+  Status Delete(TxnId txn, TableId table, const std::string& key);
+  Status Scan(TxnId txn, TableId table, const std::string& from,
+              const std::string& to, uint32_t limit,
+              std::vector<std::pair<std::string, std::string>>* out);
+
+  /// Fail-together crash: buffer pool and volatile log tail vanish.
+  void Crash();
+  Status Recover();
+
+  Status FlushAll();
+
+  const EngineStats& stats() const { return stats_; }
+  StableLog* log() { return &log_; }
+  LockManager* locks() { return locks_.get(); }
+
+ private:
+  enum class RecType : uint8_t {
+    kBegin = 1,
+    kCommit = 2,
+    kAbort = 3,
+    kInsert = 4,
+    kUpdate = 5,
+    kDelete = 6,
+    kClr = 7,
+    kPageImage = 8,  // redo-only nested top action (SMO)
+  };
+
+  struct LogRec {
+    RecType type;
+    TxnId txn = 0;
+    PageId pid = kInvalidPageId;
+    TableId table = kInvalidTableId;
+    std::string key;
+    std::string value;   // redo
+    std::string before;  // undo
+    bool has_before = false;
+    std::string Encode() const;
+    static bool Decode(Slice in, LogRec* out);
+  };
+
+  struct Frame {
+    PageId pid;
+    std::vector<char> data;
+    bool dirty = false;
+  };
+
+  struct UndoEntry {
+    RecType type;
+    TableId table;
+    std::string key;
+    std::string before;
+    bool has_before;
+  };
+
+  SlottedPage PageOf(Frame* f) {
+    return SlottedPage(f->data.data(), store_->page_size(),
+                       store_->trailer_capacity());
+  }
+
+  StatusOr<Frame*> GetFrame(PageId pid);
+  Frame* CreateFrame(PageId pid);
+  Status FlushFrameLocked(Frame* f);
+
+  StatusOr<PageId> RootOf(TableId table);
+  /// Descends to the leaf owning key (single-threaded under mu_).
+  StatusOr<Frame*> Leaf(TableId table, const std::string& key);
+  Status SplitLeaf(TableId table, const std::string& key);
+
+  uint64_t AppendRec(const LogRec& rec);
+  Status ApplyWrite(TxnId txn, RecType type, TableId table,
+                    const std::string& key, const std::string& value,
+                    std::string* before_out, bool* had_before);
+
+  StableStore* store_;
+  EngineOptions options_;
+  StableLog log_;
+  std::unique_ptr<LockManager> locks_;
+
+  /// One big kernel latch: the monolithic engine executes record
+  /// operations inside the page under a single critical section — short
+  /// code path, no messages (the architectural contrast with the TC/DC).
+  std::mutex mu_;
+  std::unordered_map<PageId, std::unique_ptr<Frame>> frames_;
+  std::map<TableId, PageId> roots_;
+  PageId meta_pid_ = kInvalidPageId;
+  std::unordered_map<TxnId, std::vector<UndoEntry>> txns_;
+  TxnId next_txn_ = 1;
+
+  EngineStats stats_;
+};
+
+}  // namespace monolithic
+}  // namespace untx

@@ -1,0 +1,63 @@
+// On-"disk" page format shared by the DC and the monolithic baseline.
+//
+// Layout of a page of size P with a reserved sync-trailer of size T:
+//
+//   [0,4)    crc        masked CRC32C of bytes [4, P), written by the store
+//   [4,8)    page_id
+//   [8,9)    page_type
+//   [9,10)   flags
+//   [10,12)  slot_count
+//   [12,14)  free_lo    end of slot array / start of free gap
+//   [14,16)  free_hi    start of record heap (grows down from P - T)
+//   [16,24)  dlsn       DC system-transaction LSN (page LSN for monolithic)
+//   [24,28)  next_page  right sibling / free-list link
+//   [28,32)  prev_page  left sibling
+//   [32,34)  level      B-tree level; 0 = leaf
+//   [34,36)  trailer_len bytes of the sync trailer in use
+//   [36,40)  table_id
+//   [40,42)  garbage    reclaimable hole bytes in the record heap
+//   [42,48)  reserved
+//   [48,..)  slot array: slot_count entries of (u16 offset, u16 len)
+//   ...      free space ...
+//   ...      record heap, ending at P - T
+//   [P-T,P)  sync trailer: serialized abstract LSNs (§5.1.2 "page sync")
+#pragma once
+
+#include <cstdint>
+
+namespace untx {
+
+inline constexpr uint32_t kDefaultPageSize = 8192;
+/// Reserved bytes at the end of each page for the abLSN sync trailer.
+/// Strategy 2 of §5.1.2 serializes the full abLSN here; if it does not
+/// fit, the buffer pool falls back to waiting for the low-water mark.
+inline constexpr uint32_t kDefaultTrailerCapacity = 256;
+
+inline constexpr uint32_t kPageHeaderSize = 48;
+
+enum class PageType : uint8_t {
+  kFree = 0,
+  kMeta = 1,      ///< Catalog page: table_id -> root page map.
+  kInternal = 2,  ///< B-tree internal node: separator keys + child ids.
+  kLeaf = 3,      ///< B-tree leaf: user records.
+};
+
+// Header field offsets.
+inline constexpr uint32_t kPageOffCrc = 0;
+inline constexpr uint32_t kPageOffPageId = 4;
+inline constexpr uint32_t kPageOffType = 8;
+inline constexpr uint32_t kPageOffFlags = 9;
+inline constexpr uint32_t kPageOffSlotCount = 10;
+inline constexpr uint32_t kPageOffFreeLo = 12;
+inline constexpr uint32_t kPageOffFreeHi = 14;
+inline constexpr uint32_t kPageOffDLsn = 16;
+inline constexpr uint32_t kPageOffNextPage = 24;
+inline constexpr uint32_t kPageOffPrevPage = 28;
+inline constexpr uint32_t kPageOffLevel = 32;
+inline constexpr uint32_t kPageOffTrailerLen = 34;
+inline constexpr uint32_t kPageOffTableId = 36;
+inline constexpr uint32_t kPageOffGarbage = 40;
+
+inline constexpr uint32_t kSlotEntrySize = 4;  // u16 offset + u16 len
+
+}  // namespace untx

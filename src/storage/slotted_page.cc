@@ -1,0 +1,256 @@
+#include "storage/slotted_page.h"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace untx {
+
+uint16_t SlottedPage::GetU16(uint32_t off) const {
+  return DecodeFixed16(buf_ + off);
+}
+void SlottedPage::SetU16(uint32_t off, uint16_t v) {
+  EncodeFixed16(buf_ + off, v);
+}
+uint32_t SlottedPage::GetU32(uint32_t off) const {
+  return DecodeFixed32(buf_ + off);
+}
+void SlottedPage::SetU32(uint32_t off, uint32_t v) {
+  EncodeFixed32(buf_ + off, v);
+}
+uint64_t SlottedPage::GetU64(uint32_t off) const {
+  return DecodeFixed64(buf_ + off);
+}
+void SlottedPage::SetU64(uint32_t off, uint64_t v) {
+  EncodeFixed64(buf_ + off, v);
+}
+
+void SlottedPage::Init(PageId page_id, PageType type, uint16_t level,
+                       TableId table_id) {
+  memset(buf_, 0, page_size_);
+  SetU32(kPageOffPageId, page_id);
+  buf_[kPageOffType] = static_cast<char>(type);
+  SetU16(kPageOffSlotCount, 0);
+  SetU16(kPageOffFreeLo, static_cast<uint16_t>(kPageHeaderSize));
+  SetU16(kPageOffFreeHi, static_cast<uint16_t>(body_end()));
+  SetU64(kPageOffDLsn, 0);
+  SetU32(kPageOffNextPage, kInvalidPageId);
+  SetU32(kPageOffPrevPage, kInvalidPageId);
+  SetU16(kPageOffLevel, level);
+  SetU16(kPageOffTrailerLen, 0);
+  SetU32(kPageOffTableId, table_id);
+  SetU16(kPageOffGarbage, 0);
+}
+
+PageId SlottedPage::page_id() const { return GetU32(kPageOffPageId); }
+PageType SlottedPage::type() const {
+  return static_cast<PageType>(static_cast<uint8_t>(buf_[kPageOffType]));
+}
+uint16_t SlottedPage::slot_count() const { return GetU16(kPageOffSlotCount); }
+DLsn SlottedPage::dlsn() const { return GetU64(kPageOffDLsn); }
+void SlottedPage::set_dlsn(DLsn dlsn) { SetU64(kPageOffDLsn, dlsn); }
+PageId SlottedPage::next_page() const { return GetU32(kPageOffNextPage); }
+void SlottedPage::set_next_page(PageId pid) { SetU32(kPageOffNextPage, pid); }
+PageId SlottedPage::prev_page() const { return GetU32(kPageOffPrevPage); }
+void SlottedPage::set_prev_page(PageId pid) { SetU32(kPageOffPrevPage, pid); }
+uint16_t SlottedPage::level() const { return GetU16(kPageOffLevel); }
+TableId SlottedPage::table_id() const { return GetU32(kPageOffTableId); }
+void SlottedPage::set_table_id(TableId tid) { SetU32(kPageOffTableId, tid); }
+uint8_t SlottedPage::flags() const {
+  return static_cast<uint8_t>(buf_[kPageOffFlags]);
+}
+void SlottedPage::set_flags(uint8_t flags) {
+  buf_[kPageOffFlags] = static_cast<char>(flags);
+}
+
+uint16_t SlottedPage::trailer_len() const {
+  return GetU16(kPageOffTrailerLen);
+}
+
+bool SlottedPage::WriteTrailer(const Slice& data) {
+  if (data.size() > trailer_capacity_) return false;
+  memcpy(buf_ + body_end(), data.data(), data.size());
+  SetU16(kPageOffTrailerLen, static_cast<uint16_t>(data.size()));
+  return true;
+}
+
+Slice SlottedPage::ReadTrailer() const {
+  return Slice(buf_ + body_end(), trailer_len());
+}
+
+uint32_t SlottedPage::SlotArrayEnd() const {
+  return kPageHeaderSize + slot_count() * kSlotEntrySize;
+}
+
+void SlottedPage::ReadSlot(uint16_t i, uint16_t* off, uint16_t* len) const {
+  const uint32_t base = kPageHeaderSize + i * kSlotEntrySize;
+  *off = GetU16(base);
+  *len = GetU16(base + 2);
+}
+
+void SlottedPage::WriteSlot(uint16_t i, uint16_t off, uint16_t len) {
+  const uint32_t base = kPageHeaderSize + i * kSlotEntrySize;
+  SetU16(base, off);
+  SetU16(base + 2, len);
+}
+
+Slice SlottedPage::PayloadAt(uint16_t i) const {
+  assert(i < slot_count());
+  uint16_t off, len;
+  ReadSlot(i, &off, &len);
+  return Slice(buf_ + off, len);
+}
+
+uint32_t SlottedPage::ContiguousFree() const {
+  const uint32_t lo = SlotArrayEnd();
+  const uint32_t hi = GetU16(kPageOffFreeHi);
+  return hi > lo ? hi - lo : 0;
+}
+
+uint32_t SlottedPage::TotalFree() const {
+  return ContiguousFree() + GetU16(kPageOffGarbage);
+}
+
+bool SlottedPage::HasSpaceFor(uint32_t n) const {
+  return TotalFree() >= n + kSlotEntrySize;
+}
+
+double SlottedPage::FillFraction() const {
+  const uint32_t usable = body_end() - kPageHeaderSize;
+  uint32_t live = 0;
+  for (uint16_t i = 0; i < slot_count(); ++i) {
+    uint16_t off, len;
+    ReadSlot(i, &off, &len);
+    live += len + kSlotEntrySize;
+  }
+  return static_cast<double>(live) / usable;
+}
+
+Status SlottedPage::InsertAt(uint16_t i, const Slice& payload) {
+  assert(i <= slot_count());
+  if (payload.size() > 0xffff) {
+    return Status::InvalidArgument("payload too large for slot");
+  }
+  const uint32_t need = static_cast<uint32_t>(payload.size());
+  if (!HasSpaceFor(need)) {
+    return Status::Busy("page full");
+  }
+  if (ContiguousFree() < need + kSlotEntrySize) {
+    Compact();
+    if (ContiguousFree() < need + kSlotEntrySize) {
+      return Status::Busy("page full after compaction");
+    }
+  }
+  // Claim heap space just below free_hi.
+  const uint16_t new_off =
+      static_cast<uint16_t>(GetU16(kPageOffFreeHi) - need);
+  memcpy(buf_ + new_off, payload.data(), need);
+  SetU16(kPageOffFreeHi, new_off);
+  // Shift slot entries [i, count) up by one.
+  const uint16_t count = slot_count();
+  if (i < count) {
+    memmove(buf_ + kPageHeaderSize + (i + 1) * kSlotEntrySize,
+            buf_ + kPageHeaderSize + i * kSlotEntrySize,
+            (count - i) * kSlotEntrySize);
+  }
+  WriteSlot(i, new_off, static_cast<uint16_t>(need));
+  SetU16(kPageOffSlotCount, count + 1);
+  SetU16(kPageOffFreeLo, static_cast<uint16_t>(SlotArrayEnd()));
+  return Status::OK();
+}
+
+void SlottedPage::RemoveAt(uint16_t i) {
+  assert(i < slot_count());
+  uint16_t off, len;
+  ReadSlot(i, &off, &len);
+  const uint16_t count = slot_count();
+  // Heap bytes become garbage, unless they are exactly at free_hi, in
+  // which case the gap can be returned directly.
+  if (off == GetU16(kPageOffFreeHi)) {
+    SetU16(kPageOffFreeHi, static_cast<uint16_t>(off + len));
+  } else {
+    SetU16(kPageOffGarbage, static_cast<uint16_t>(GetU16(kPageOffGarbage) + len));
+  }
+  if (i + 1 < count) {
+    memmove(buf_ + kPageHeaderSize + i * kSlotEntrySize,
+            buf_ + kPageHeaderSize + (i + 1) * kSlotEntrySize,
+            (count - i - 1) * kSlotEntrySize);
+  }
+  SetU16(kPageOffSlotCount, count - 1);
+  SetU16(kPageOffFreeLo, static_cast<uint16_t>(SlotArrayEnd()));
+}
+
+Status SlottedPage::ReplaceAt(uint16_t i, const Slice& payload) {
+  assert(i < slot_count());
+  uint16_t off, len;
+  ReadSlot(i, &off, &len);
+  if (payload.size() <= len) {
+    // Overwrite in place; tail becomes garbage.
+    memcpy(buf_ + off, payload.data(), payload.size());
+    WriteSlot(i, off, static_cast<uint16_t>(payload.size()));
+    SetU16(kPageOffGarbage,
+           static_cast<uint16_t>(GetU16(kPageOffGarbage) +
+                                 (len - payload.size())));
+    return Status::OK();
+  }
+  // Need more space: remove + insert keeps slot order stable.
+  // Stash the old payload so we can restore on failure.
+  std::string old(PayloadAt(i).ToString());
+  RemoveAt(i);
+  Status s = InsertAt(i, payload);
+  if (!s.ok()) {
+    Status restore = InsertAt(i, Slice(old));
+    assert(restore.ok());
+    (void)restore;
+    return s;
+  }
+  return Status::OK();
+}
+
+void SlottedPage::Compact() {
+  // Copy live payloads into a scratch buffer laid out from the top.
+  std::vector<char> scratch(page_size_);
+  uint32_t write_hi = body_end();
+  const uint16_t count = slot_count();
+  std::vector<std::pair<uint16_t, uint16_t>> new_slots(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    uint16_t off, len;
+    ReadSlot(i, &off, &len);
+    write_hi -= len;
+    memcpy(scratch.data() + write_hi, buf_ + off, len);
+    new_slots[i] = {static_cast<uint16_t>(write_hi), len};
+  }
+  memcpy(buf_ + write_hi, scratch.data() + write_hi, body_end() - write_hi);
+  for (uint16_t i = 0; i < count; ++i) {
+    WriteSlot(i, new_slots[i].first, new_slots[i].second);
+  }
+  SetU16(kPageOffFreeHi, static_cast<uint16_t>(write_hi));
+  SetU16(kPageOffGarbage, 0);
+}
+
+Status SlottedPage::Validate() const {
+  const uint16_t count = slot_count();
+  const uint32_t slot_end = kPageHeaderSize + count * kSlotEntrySize;
+  const uint32_t free_hi = GetU16(kPageOffFreeHi);
+  if (slot_end > free_hi) {
+    return Status::Corruption("slot array overlaps heap");
+  }
+  if (free_hi > body_end()) {
+    return Status::Corruption("free_hi beyond body end");
+  }
+  for (uint16_t i = 0; i < count; ++i) {
+    uint16_t off, len;
+    ReadSlot(i, &off, &len);
+    if (off < free_hi || off + len > body_end()) {
+      return Status::Corruption("slot payload out of heap bounds");
+    }
+  }
+  if (trailer_len() > trailer_capacity_) {
+    return Status::Corruption("trailer overflow");
+  }
+  return Status::OK();
+}
+
+}  // namespace untx

@@ -1,0 +1,108 @@
+// SlottedPage: record-slot management over a raw page buffer.
+//
+// Slots are kept in logical (sorted) order by the caller; the heap holds
+// variable-length payloads. Deleting leaves holes that are reclaimed by
+// compaction when an insert needs contiguous space.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/page.h"
+
+namespace untx {
+
+/// A non-owning view over one page buffer. All mutators assume the caller
+/// holds the page's exclusive latch.
+class SlottedPage {
+ public:
+  /// page_size and trailer_capacity must match the store's configuration.
+  SlottedPage(char* buf, uint32_t page_size, uint32_t trailer_capacity)
+      : buf_(buf), page_size_(page_size), trailer_capacity_(trailer_capacity) {}
+
+  /// Formats a blank page.
+  void Init(PageId page_id, PageType type, uint16_t level, TableId table_id);
+
+  // -- Header accessors -----------------------------------------------------
+  PageId page_id() const;
+  PageType type() const;
+  uint16_t slot_count() const;
+  DLsn dlsn() const;
+  void set_dlsn(DLsn dlsn);
+  PageId next_page() const;
+  void set_next_page(PageId pid);
+  PageId prev_page() const;
+  void set_prev_page(PageId pid);
+  uint16_t level() const;
+  TableId table_id() const;
+  void set_table_id(TableId tid);
+  uint8_t flags() const;
+  void set_flags(uint8_t flags);
+
+  // -- Sync trailer (abLSN serialization area, §5.1.2) ----------------------
+  uint32_t trailer_capacity() const { return trailer_capacity_; }
+  uint16_t trailer_len() const;
+  /// Returns false if data does not fit in the reserved trailer.
+  bool WriteTrailer(const Slice& data);
+  Slice ReadTrailer() const;
+
+  // -- Slot operations ------------------------------------------------------
+  /// Payload bytes of slot i (0 <= i < slot_count).
+  Slice PayloadAt(uint16_t i) const;
+
+  /// Inserts payload as the new slot i, shifting later slots up.
+  /// Returns kBusy ("page full") if the payload cannot fit even after
+  /// compaction — the caller then runs a split.
+  Status InsertAt(uint16_t i, const Slice& payload);
+
+  /// Removes slot i, shifting later slots down.
+  void RemoveAt(uint16_t i);
+
+  /// Replaces slot i's payload (may compact; kBusy if it cannot fit).
+  Status ReplaceAt(uint16_t i, const Slice& payload);
+
+  /// Contiguous free bytes available for one new payload + slot entry.
+  uint32_t ContiguousFree() const;
+  /// Free bytes counting reclaimable holes.
+  uint32_t TotalFree() const;
+  /// True if a payload of n bytes fits (possibly after compaction).
+  bool HasSpaceFor(uint32_t n) const;
+
+  /// Fraction of the usable body that is occupied by live payloads.
+  double FillFraction() const;
+
+  /// Rewrites the heap to squeeze out holes.
+  void Compact();
+
+  /// Structural sanity check used by tests and recovery: slot bounds,
+  /// free-space arithmetic, no overlapping payloads.
+  Status Validate() const;
+
+  char* raw() { return buf_; }
+  const char* raw() const { return buf_; }
+  uint32_t page_size() const { return page_size_; }
+
+  /// First byte past the usable body (= page_size - trailer_capacity).
+  uint32_t body_end() const { return page_size_ - trailer_capacity_; }
+
+ private:
+  uint16_t GetU16(uint32_t off) const;
+  void SetU16(uint32_t off, uint16_t v);
+  uint32_t GetU32(uint32_t off) const;
+  void SetU32(uint32_t off, uint32_t v);
+  uint64_t GetU64(uint32_t off) const;
+  void SetU64(uint32_t off, uint64_t v);
+
+  uint32_t SlotArrayEnd() const;
+  void ReadSlot(uint16_t i, uint16_t* off, uint16_t* len) const;
+  void WriteSlot(uint16_t i, uint16_t off, uint16_t len);
+
+  char* buf_;
+  uint32_t page_size_;
+  uint32_t trailer_capacity_;
+};
+
+}  // namespace untx

@@ -1,0 +1,98 @@
+#include "storage/stable_store.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace untx {
+
+StableStore::StableStore(StableStoreOptions options)
+    : options_(options), fault_rng_(options.fault_seed) {}
+
+PageId StableStore::Allocate() {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (!free_list_.empty()) {
+    PageId pid = free_list_.back();
+    free_list_.pop_back();
+    free_set_.erase(pid);
+    return pid;
+  }
+  return next_page_id_++;
+}
+
+void StableStore::Free(PageId pid) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (pid == kInvalidPageId) return;
+  if (free_set_.insert(pid).second) {
+    free_list_.push_back(pid);
+    pages_.erase(pid);
+  }
+}
+
+Status StableStore::Write(PageId pid, const char* data) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (options_.write_fail_prob > 0 &&
+      fault_rng_.Bernoulli(options_.write_fail_prob)) {
+    return Status::IOError("injected write failure");
+  }
+  std::string copy(data, options_.page_size);
+  const uint32_t crc = crc32c::Mask(
+      crc32c::Value(copy.data() + 4, options_.page_size - 4));
+  EncodeFixed32(copy.data(), crc);
+  pages_[pid] = std::move(copy);
+  // A freed page that gets rewritten (recycled id) is live again.
+  if (free_set_.erase(pid) > 0) {
+    for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
+      if (*it == pid) {
+        free_list_.erase(it);
+        break;
+      }
+    }
+  }
+  ++writes_;
+  return Status::OK();
+}
+
+Status StableStore::Read(PageId pid, char* out) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = pages_.find(pid);
+  if (it == pages_.end()) {
+    return Status::NotFound("page not in stable store");
+  }
+  const std::string& stored = it->second;
+  const uint32_t expected = crc32c::Unmask(DecodeFixed32(stored.data()));
+  const uint32_t actual =
+      crc32c::Value(stored.data() + 4, options_.page_size - 4);
+  if (expected != actual) {
+    return Status::Corruption("page checksum mismatch");
+  }
+  memcpy(out, stored.data(), options_.page_size);
+  ++reads_;
+  return Status::OK();
+}
+
+bool StableStore::Exists(PageId pid) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return pages_.count(pid) > 0;
+}
+
+void StableStore::CorruptForTest(PageId pid, uint32_t byte_offset) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = pages_.find(pid);
+  if (it == pages_.end()) return;
+  if (byte_offset >= options_.page_size) byte_offset = options_.page_size - 1;
+  it->second[byte_offset] ^= 0x5a;
+}
+
+uint64_t StableStore::allocated_high_water() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return next_page_id_ - 1;
+}
+
+size_t StableStore::LivePageCount() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return pages_.size();
+}
+
+}  // namespace untx

@@ -1,0 +1,62 @@
+// DcClient: the TC's asynchronous view of one DC (§4.2.1: "we expect that
+// in a cloud environment asynchronous messages might be used ... while
+// signals and shared variables might be more suited for a multi-core
+// design"). Two implementations:
+//   * DirectDcClient (here)    — shared-memory call path, multi-core style;
+//   * ChannelDcClient (kernel) — SimChannel pair with server/dispatcher
+//     threads, cloud style.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "dc/dc_api.h"
+
+namespace untx {
+
+class DcClient {
+ public:
+  using OpReplyHandler = std::function<void(const OperationReply&)>;
+  using ControlReplyHandler = std::function<void(const ControlReply&)>;
+
+  virtual ~DcClient() = default;
+
+  /// Fire-and-forget sends; replies arrive via the registered handlers
+  /// (possibly on the calling thread for direct clients).
+  virtual void SendOperation(const OperationRequest& req) = 0;
+  virtual void SendControl(const ControlRequest& req) = 0;
+
+  void set_op_reply_handler(OpReplyHandler h) { op_handler_ = std::move(h); }
+  void set_control_reply_handler(ControlReplyHandler h) {
+    control_handler_ = std::move(h);
+  }
+
+ protected:
+  OpReplyHandler op_handler_;
+  ControlReplyHandler control_handler_;
+};
+
+/// In-process synchronous binding: the "multi-core" deployment where TC
+/// and DC share an address space and the interface is a function call.
+class DirectDcClient : public DcClient {
+ public:
+  explicit DirectDcClient(DcService* dc) : dc_(dc) {}
+
+  void SendOperation(const OperationRequest& req) override {
+    OperationReply reply = dc_->Perform(req);
+    // A crashed DC produced no reply; the resend daemon will retry.
+    if (!reply.status.IsCrashed() && op_handler_) op_handler_(reply);
+  }
+
+  void SendControl(const ControlRequest& req) override {
+    ControlReply reply = dc_->Control(req);
+    if (!reply.status.IsCrashed() && control_handler_) {
+      control_handler_(reply);
+    }
+  }
+
+ private:
+  DcService* dc_;
+};
+
+}  // namespace untx

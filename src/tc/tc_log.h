@@ -1,0 +1,61 @@
+// TC log records (§4.1.1(3)): logical undo AND redo information, no page
+// identifiers anywhere.
+//
+// "Undo logging in the TC will enable rollback of a user transaction, by
+// providing information TC can use to submit inverse logical operations
+// to DC. Redo logging in TC allows TC to resubmit logical operations when
+// it needs to, following a crash of DC."
+//
+// An operation's LSN is its log index + 1, reserved *before* dispatch
+// (§5.1); the record is sealed with its undo image when the DC reply
+// arrives. Force() therefore stops at the first outstanding operation —
+// the stable prefix is exactly the completed prefix, which doubles as the
+// low-water mark the TC pushes to DCs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace untx {
+
+enum class TcLogRecordType : uint8_t {
+  kBegin = 1,       ///< Transaction begin.
+  kOperation = 2,   ///< Logical operation with redo (+undo) info.
+  kCommit = 3,      ///< Commit point (forced for durability).
+  kAbort = 4,       ///< Rollback complete.
+  kClr = 5,         ///< Compensation: inverse op sent during undo.
+  kCheckpoint = 6,  ///< Carries the redo scan start point (RSSP).
+  kTxnEnd = 7,      ///< Versioned commit fully promoted (§6.2.2 cleanup).
+};
+
+struct TcLogRecord {
+  TcLogRecordType type = TcLogRecordType::kBegin;
+  TxnId txn = kInvalidTxnId;
+
+  // kOperation / kClr payload.
+  OpType op = OpType::kRead;
+  TableId table_id = kInvalidTableId;
+  std::string key;
+  std::string value;    ///< redo argument
+  std::string before;   ///< undo image (from the DC reply)
+  bool has_before = false;
+  bool versioned = false;
+  /// True iff the DC applied the operation (logical failures like
+  /// NotFound log applied=false and need no undo).
+  bool applied = false;
+  /// kClr: the LSN of the operation this compensation undoes. Recovery
+  /// undo skips operations with a stable CLR.
+  Lsn undo_target = kInvalidLsn;
+
+  // kCheckpoint payload.
+  Lsn rssp = kInvalidLsn;
+
+  void EncodeTo(std::string* dst) const;
+  static bool DecodeFrom(Slice* input, TcLogRecord* out);
+};
+
+}  // namespace untx

@@ -1,0 +1,1157 @@
+#include "tc/transaction_component.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <thread>
+
+namespace untx {
+
+// ---- RangePartitionConfig ----------------------------------------------------
+
+uint32_t RangePartitionConfig::PartitionOf(const std::string& key) const {
+  // Partition i covers [boundaries[i-1], boundaries[i]).
+  auto it = std::upper_bound(boundaries.begin(), boundaries.end(), key);
+  return static_cast<uint32_t>(it - boundaries.begin());
+}
+
+std::pair<uint32_t, uint32_t> RangePartitionConfig::Overlapping(
+    const std::string& from, const std::string& to) const {
+  const uint32_t lo = PartitionOf(from);
+  const uint32_t hi =
+      to.empty() ? Count() - 1
+                 // `to` is exclusive: key `to` itself is not read, so a
+                 // partition starting exactly at `to` is not needed.
+                 : PartitionOf(to);
+  return {lo, hi};
+}
+
+// ---- Construction -------------------------------------------------------------
+
+TransactionComponent::TransactionComponent(TcOptions options,
+                                           std::vector<DcBinding> dcs,
+                                           Router router)
+    : options_(options),
+      dcs_(std::move(dcs)),
+      router_(std::move(router)),
+      log_(options.log),
+      locks_(std::make_unique<LockManager>(options.locks)) {
+  assert(!dcs_.empty());
+  for (auto& binding : dcs_) {
+    binding.client->set_op_reply_handler(
+        [this](const OperationReply& reply) { OnOperationReply(reply); });
+    binding.client->set_control_reply_handler(
+        [this](const ControlReply& reply) { OnControlReply(reply); });
+  }
+}
+
+TransactionComponent::~TransactionComponent() { Stop(); }
+
+Status TransactionComponent::Start() {
+  stopping_.store(false);
+  // Fresh start: no redo is pending anywhere, so arm the LWM contract.
+  for (const auto& binding : dcs_) {
+    ControlRequest req;
+    req.type = ControlType::kRestartEnd;
+    req.tc_id = options_.tc_id;
+    req.seq = 0;
+    binding.client->SendControl(req);
+  }
+  if (options_.start_daemons) {
+    control_daemon_.Start(
+        std::chrono::milliseconds(options_.control_interval_ms),
+        [this] { PushControls(); });
+    resend_daemon_.Start(
+        std::chrono::milliseconds(options_.resend_interval_ms),
+        [this] { ResendPass(); });
+    if (options_.group_commit) {
+      group_commit_daemon_.Start(
+          std::chrono::milliseconds(
+              std::max(1u, options_.group_commit_interval_us / 1000)),
+          [this] {
+            if (!crashed_.load()) log_.Force();
+          });
+    }
+  }
+  return Status::OK();
+}
+
+void TransactionComponent::Stop() {
+  stopping_.store(true);
+  control_daemon_.Stop();
+  resend_daemon_.Stop();
+  group_commit_daemon_.Stop();
+}
+
+DcId TransactionComponent::Route(TableId table,
+                                 const std::string& key) const {
+  if (router_) return router_(table, key);
+  return dcs_.front().id;
+}
+
+DcClient* TransactionComponent::ClientFor(DcId dc) const {
+  for (const auto& binding : dcs_) {
+    if (binding.id == dc) return binding.client;
+  }
+  return dcs_.front().client;
+}
+
+// ---- Reply plumbing -----------------------------------------------------------
+
+void TransactionComponent::OnOperationReply(const OperationReply& reply) {
+  if (crashed_.load()) return;
+  std::shared_ptr<OutstandingOp> op;
+  {
+    std::lock_guard<std::mutex> guard(out_mu_);
+    auto it = outstanding_.find(reply.lsn);
+    if (it == outstanding_.end() || it->second->completed) {
+      return;  // duplicate or late reply — idempotence already paid for it
+    }
+    op = it->second;
+    op->completed = true;
+    op->reply = reply;
+    outstanding_.erase(it);
+  }
+  if (op->needs_seal) {
+    TcLogRecord rec;
+    rec.type = op->record_type;
+    rec.txn = op->txn;
+    rec.op = op->request.op;
+    rec.table_id = op->request.table_id;
+    rec.key = op->request.key;
+    rec.value = op->request.value;
+    rec.versioned = op->request.versioned;
+    rec.applied = reply.status.ok() && IsWriteOp(op->request.op);
+    rec.has_before = reply.has_before;
+    rec.before = reply.value;
+    rec.undo_target = op->undo_target;
+    std::string payload;
+    rec.EncodeTo(&payload);
+    log_.Seal(op->request.lsn - 1, std::move(payload));
+  }
+  op->done.Notify();
+}
+
+void TransactionComponent::OnControlReply(const ControlReply& reply) {
+  if (reply.seq == 0) return;  // fire-and-forget
+  std::shared_ptr<PendingControl> pending;
+  {
+    std::lock_guard<std::mutex> guard(control_mu_);
+    auto it = pending_controls_.find(reply.seq);
+    if (it == pending_controls_.end()) return;
+    pending = it->second;
+    pending_controls_.erase(it);
+  }
+  pending->reply = reply;
+  pending->done.Notify();
+}
+
+StatusOr<ControlReply> TransactionComponent::ControlAwait(
+    DcId dc, ControlRequest req, uint32_t timeout_ms) {
+  auto pending = std::make_shared<PendingControl>();
+  {
+    std::lock_guard<std::mutex> guard(control_mu_);
+    req.seq = next_control_seq_++;
+    pending_controls_[req.seq] = pending;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  // Control messages ride the same lossy transport: resend until acked.
+  for (;;) {
+    ClientFor(dc)->SendControl(req);
+    if (pending->done.WaitFor(std::chrono::milliseconds(
+            std::max<uint32_t>(options_.resend_interval_ms, 20)))) {
+      return pending->reply;
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      std::lock_guard<std::mutex> guard(control_mu_);
+      pending_controls_.erase(req.seq);
+      return Status::TimedOut("control request not acknowledged");
+    }
+  }
+}
+
+void TransactionComponent::SendToDc(const std::shared_ptr<OutstandingOp>& op,
+                                    bool is_resend) {
+  {
+    std::lock_guard<std::mutex> guard(out_mu_);
+    auto it = dc_recovering_.find(op->dc);
+    if (it != dc_recovering_.end() && it->second && is_resend) {
+      return;  // hold resends while the DC replays its redo
+    }
+    op->last_send = std::chrono::steady_clock::now();
+  }
+  if (is_resend) stats_.resends.fetch_add(1);
+  ClientFor(op->dc)->SendOperation(op->request);
+}
+
+void TransactionComponent::ResendPass() {
+  if (crashed_.load()) return;
+  std::vector<std::shared_ptr<OutstandingOp>> stale;
+  const auto now = std::chrono::steady_clock::now();
+  const auto age = std::chrono::milliseconds(options_.resend_interval_ms);
+  {
+    std::lock_guard<std::mutex> guard(out_mu_);
+    for (auto& [lsn, op] : outstanding_) {
+      if (!op->completed && now - op->last_send >= age) {
+        stale.push_back(op);
+      }
+    }
+  }
+  for (auto& op : stale) SendToDc(op, /*is_resend=*/true);
+}
+
+void TransactionComponent::PushControls() {
+  if (crashed_.load()) return;
+  log_.Force();
+  const Lsn eosl = log_.stable_end();
+  const Lsn lwm = log_.sealed_prefix_end();
+  for (const auto& binding : dcs_) {
+    ControlRequest req;
+    req.tc_id = options_.tc_id;
+    req.seq = 0;  // fire-and-forget
+    req.type = ControlType::kEndOfStableLog;
+    req.lsn = eosl;
+    binding.client->SendControl(req);
+    req.type = ControlType::kLowWaterMark;
+    req.lsn = lwm;
+    binding.client->SendControl(req);
+  }
+}
+
+// ---- Operation execution -------------------------------------------------------
+
+StatusOr<OperationReply> TransactionComponent::ExecuteOp(
+    OperationRequest req, TxnId txn, TcLogRecordType record_type,
+    Lsn undo_target) {
+  if (crashed_.load()) return Status::Crashed("tc is down");
+
+  auto op = std::make_shared<OutstandingOp>();
+  const uint64_t index = log_.Reserve();
+  req.tc_id = options_.tc_id;
+  req.lsn = index + 1;
+  req.versioned = req.versioned && IsWriteOp(req.op);
+  op->request = req;
+  op->txn = txn;
+  op->record_type = record_type;
+  op->undo_target = undo_target;
+  op->dc = Route(req.table_id, req.key);
+  {
+    std::lock_guard<std::mutex> guard(out_mu_);
+    outstanding_[req.lsn] = op;
+  }
+  stats_.ops_sent.fetch_add(1);
+  SendToDc(op, /*is_resend=*/false);
+
+  if (!op->done.WaitFor(std::chrono::milliseconds(options_.op_timeout_ms))) {
+    // The op stays outstanding; the resend daemon keeps trying (a down DC
+    // blocks its updaters, §6.2.2). The caller sees a timeout.
+    return Status::TimedOut("operation not acknowledged in time");
+  }
+  return op->reply;
+}
+
+// ---- Locking helpers -----------------------------------------------------------
+
+Status TransactionComponent::LockForWrite(TxnId txn, TableId table,
+                                          const std::string& key,
+                                          bool is_insert) {
+  if (options_.range_protocol == RangeLockProtocol::kPartition) {
+    return locks_->Lock(txn, RangeLockName(table,
+                                           options_.partitions.PartitionOf(key)),
+                        LockMode::kExclusive);
+  }
+  Status s = locks_->Lock(txn, RecordLockName(table, key),
+                          LockMode::kExclusive);
+  if (!s.ok()) return s;
+  if (is_insert && options_.insert_phantom_protection) {
+    // Key-range-style protection: probe and instant-lock the next key so
+    // a serializable scan covering the gap blocks this insert (§3.1).
+    OperationRequest probe;
+    probe.op = OpType::kProbeNext;
+    probe.table_id = table;
+    probe.key = key;
+    probe.limit = 2;
+    stats_.probes.fetch_add(1);
+    StatusOr<OperationReply> reply = ExecuteOp(probe, txn);
+    if (!reply.ok()) return reply.status();
+    std::string next_name = TableEofLockName(table);
+    for (const auto& k : reply->keys) {
+      if (k != key) {
+        next_name = RecordLockName(table, k);
+        break;
+      }
+    }
+    s = locks_->LockInstant(txn, next_name, LockMode::kExclusive);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status TransactionComponent::LockForRead(TxnId txn, TableId table,
+                                         const std::string& key) {
+  if (options_.range_protocol == RangeLockProtocol::kPartition) {
+    return locks_->Lock(txn, RangeLockName(table,
+                                           options_.partitions.PartitionOf(key)),
+                        LockMode::kShared);
+  }
+  return locks_->Lock(txn, RecordLockName(table, key), LockMode::kShared);
+}
+
+// ---- Transaction API ------------------------------------------------------------
+
+StatusOr<TxnId> TransactionComponent::Begin() {
+  if (crashed_.load()) return Status::Crashed("tc is down");
+  TxnId id;
+  {
+    std::lock_guard<std::mutex> guard(txn_mu_);
+    id = next_txn_++;
+    txns_[id] = TxnState{id, {}, {}};
+  }
+  TcLogRecord rec;
+  rec.type = TcLogRecordType::kBegin;
+  rec.txn = id;
+  std::string payload;
+  rec.EncodeTo(&payload);
+  log_.Append(std::move(payload));
+  stats_.txns_begun.fetch_add(1);
+  return id;
+}
+
+Status TransactionComponent::Read(TxnId txn, TableId table,
+                                  const std::string& key,
+                                  std::string* value) {
+  Status s = LockForRead(txn, table, key);
+  if (!s.ok()) {
+    if (s.IsDeadlock()) stats_.deadlocks.fetch_add(1);
+    return s;
+  }
+  OperationRequest req;
+  req.op = OpType::kRead;
+  req.table_id = table;
+  req.key = key;
+  req.read_flavor = ReadFlavor::kOwn;
+  StatusOr<OperationReply> reply = ExecuteOp(req, txn);
+  if (!reply.ok()) return reply.status();
+  if (reply->status.ok()) *value = reply->value;
+  return reply->status;
+}
+
+namespace {
+struct WriteSpec {
+  OpType op;
+  const std::string* value;
+};
+}  // namespace
+
+Status TransactionComponent::Insert(TxnId txn, TableId table,
+                                    const std::string& key,
+                                    const std::string& value) {
+  Status s = LockForWrite(txn, table, key, /*is_insert=*/true);
+  if (!s.ok()) {
+    if (s.IsDeadlock()) stats_.deadlocks.fetch_add(1);
+    return s;
+  }
+  OperationRequest req;
+  req.op = OpType::kInsert;
+  req.table_id = table;
+  req.key = key;
+  req.value = value;
+  req.versioned = options_.versioning;
+  StatusOr<OperationReply> reply = ExecuteOp(req, txn);
+  if (!reply.ok()) return reply.status();
+  if (reply->status.ok()) {
+    std::lock_guard<std::mutex> guard(txn_mu_);
+    auto it = txns_.find(txn);
+    if (it != txns_.end()) {
+      it->second.undo_chain.push_back(UndoEntry{
+          reply->lsn, OpType::kInsert, table, key, "", false});
+      it->second.written_keys.emplace_back(table, key);
+    }
+  }
+  return reply->status;
+}
+
+Status TransactionComponent::Update(TxnId txn, TableId table,
+                                    const std::string& key,
+                                    const std::string& value) {
+  Status s = LockForWrite(txn, table, key, /*is_insert=*/false);
+  if (!s.ok()) {
+    if (s.IsDeadlock()) stats_.deadlocks.fetch_add(1);
+    return s;
+  }
+  OperationRequest req;
+  req.op = OpType::kUpdate;
+  req.table_id = table;
+  req.key = key;
+  req.value = value;
+  req.versioned = options_.versioning;
+  StatusOr<OperationReply> reply = ExecuteOp(req, txn);
+  if (!reply.ok()) return reply.status();
+  if (reply->status.ok()) {
+    std::lock_guard<std::mutex> guard(txn_mu_);
+    auto it = txns_.find(txn);
+    if (it != txns_.end()) {
+      it->second.undo_chain.push_back(UndoEntry{reply->lsn, OpType::kUpdate,
+                                                table, key, reply->value,
+                                                true});
+      it->second.written_keys.emplace_back(table, key);
+    }
+  }
+  return reply->status;
+}
+
+Status TransactionComponent::Delete(TxnId txn, TableId table,
+                                    const std::string& key) {
+  Status s = LockForWrite(txn, table, key, /*is_insert=*/false);
+  if (!s.ok()) {
+    if (s.IsDeadlock()) stats_.deadlocks.fetch_add(1);
+    return s;
+  }
+  OperationRequest req;
+  req.op = OpType::kDelete;
+  req.table_id = table;
+  req.key = key;
+  req.versioned = options_.versioning;
+  StatusOr<OperationReply> reply = ExecuteOp(req, txn);
+  if (!reply.ok()) return reply.status();
+  if (reply->status.ok()) {
+    std::lock_guard<std::mutex> guard(txn_mu_);
+    auto it = txns_.find(txn);
+    if (it != txns_.end()) {
+      it->second.undo_chain.push_back(UndoEntry{reply->lsn, OpType::kDelete,
+                                                table, key, reply->value,
+                                                true});
+      it->second.written_keys.emplace_back(table, key);
+    }
+  }
+  return reply->status;
+}
+
+Status TransactionComponent::Upsert(TxnId txn, TableId table,
+                                    const std::string& key,
+                                    const std::string& value) {
+  Status s = LockForWrite(txn, table, key, /*is_insert=*/true);
+  if (!s.ok()) {
+    if (s.IsDeadlock()) stats_.deadlocks.fetch_add(1);
+    return s;
+  }
+  OperationRequest req;
+  req.op = OpType::kUpsert;
+  req.table_id = table;
+  req.key = key;
+  req.value = value;
+  req.versioned = options_.versioning;
+  StatusOr<OperationReply> reply = ExecuteOp(req, txn);
+  if (!reply.ok()) return reply.status();
+  if (reply->status.ok()) {
+    std::lock_guard<std::mutex> guard(txn_mu_);
+    auto it = txns_.find(txn);
+    if (it != txns_.end()) {
+      it->second.undo_chain.push_back(
+          UndoEntry{reply->lsn, OpType::kUpsert, table, key, reply->value,
+                    reply->has_before});
+      it->second.written_keys.emplace_back(table, key);
+    }
+  }
+  return reply->status;
+}
+
+Status TransactionComponent::Scan(
+    TxnId txn, TableId table, const std::string& from, const std::string& to,
+    uint32_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+
+  if (options_.range_protocol == RangeLockProtocol::kPartition) {
+    // §3.1 "Range locks": lock every overlapping partition, then read.
+    auto [lo, hi] = options_.partitions.Overlapping(from, to);
+    for (uint32_t i = lo; i <= hi; ++i) {
+      Status s =
+          locks_->Lock(txn, RangeLockName(table, i), LockMode::kShared);
+      if (!s.ok()) {
+        if (s.IsDeadlock()) stats_.deadlocks.fetch_add(1);
+        return s;
+      }
+    }
+    std::string resume = from;
+    bool skip_equal = false;
+    for (;;) {
+      OperationRequest req;
+      req.op = OpType::kScanRange;
+      req.table_id = table;
+      req.key = resume;
+      req.end_key = to;
+      req.limit = limit == 0 ? 0 : limit - static_cast<uint32_t>(out->size());
+      StatusOr<OperationReply> reply = ExecuteOp(req, txn);
+      if (!reply.ok()) return reply.status();
+      if (!reply->status.ok()) return reply->status;
+      size_t start = 0;
+      if (skip_equal && !reply->keys.empty() && reply->keys[0] == resume) {
+        start = 1;
+      }
+      for (size_t i = start; i < reply->keys.size(); ++i) {
+        out->emplace_back(reply->keys[i], reply->values[i]);
+        if (limit != 0 && out->size() >= limit) return Status::OK();
+      }
+      if (reply->keys.size() < options_.fetch_ahead_batch &&
+          reply->keys.empty()) {
+        return Status::OK();
+      }
+      if (reply->keys.empty()) return Status::OK();
+      resume = reply->keys.back();
+      skip_equal = true;
+      if (reply->keys.size() <= start) return Status::OK();
+    }
+  }
+
+  // §3.1 "Fetch ahead protocol".
+  std::string resume = from;
+  bool skip_equal = false;
+  for (int round = 0; round < 100000; ++round) {
+    // 1. Speculative probe for the next window of keys.
+    OperationRequest probe;
+    probe.op = OpType::kProbeNext;
+    probe.table_id = table;
+    probe.key = resume;
+    probe.limit = options_.fetch_ahead_batch + 1;
+    stats_.probes.fetch_add(1);
+    StatusOr<OperationReply> probed = ExecuteOp(probe, txn);
+    if (!probed.ok()) return probed.status();
+    if (!probed->status.ok()) return probed->status;
+
+    std::vector<std::string> window;
+    std::string fencepost;
+    for (const auto& k : probed->keys) {
+      if (skip_equal && k == resume) continue;
+      if (!to.empty() && k >= to) break;
+      if (window.size() < options_.fetch_ahead_batch) {
+        window.push_back(k);
+      } else {
+        fencepost = k;
+        break;
+      }
+    }
+
+    // 2. Lock the window keys (+ fencepost or EOF for phantom safety).
+    for (const auto& k : window) {
+      Status s = locks_->Lock(txn, RecordLockName(table, k),
+                              LockMode::kShared);
+      if (!s.ok()) {
+        if (s.IsDeadlock()) stats_.deadlocks.fetch_add(1);
+        return s;
+      }
+    }
+    std::string end_bound;
+    if (!fencepost.empty()) {
+      Status s = locks_->Lock(txn, RecordLockName(table, fencepost),
+                              LockMode::kShared);
+      if (!s.ok()) {
+        if (s.IsDeadlock()) stats_.deadlocks.fetch_add(1);
+        return s;
+      }
+      end_bound = fencepost;
+    } else {
+      // Window reaches the end of the range: take the EOF sentinel (or
+      // rely on `to` as the bound).
+      Status s = locks_->Lock(txn, TableEofLockName(table),
+                              LockMode::kShared);
+      if (!s.ok()) {
+        if (s.IsDeadlock()) stats_.deadlocks.fetch_add(1);
+        return s;
+      }
+      end_bound = to;
+    }
+
+    // 3. Read the locked window, validating against the locked set.
+    std::set<std::string> locked(window.begin(), window.end());
+    for (int validation = 0; validation < 8; ++validation) {
+      OperationRequest req;
+      req.op = OpType::kScanRange;
+      req.table_id = table;
+      req.key = resume;
+      req.end_key = end_bound;
+      req.limit = options_.fetch_ahead_batch + 8;
+      StatusOr<OperationReply> reply = ExecuteOp(req, txn);
+      if (!reply.ok()) return reply.status();
+      if (!reply->status.ok()) return reply->status;
+
+      // "Should the records be different from the ones that were locked,
+      // this subsequent request becomes again a speculative request."
+      bool all_locked = true;
+      for (size_t i = 0; i < reply->keys.size(); ++i) {
+        const std::string& k = reply->keys[i];
+        if (skip_equal && k == resume) continue;
+        if (locked.count(k) == 0) {
+          Status s = locks_->Lock(txn, RecordLockName(table, k),
+                                  LockMode::kShared);
+          if (!s.ok()) {
+            if (s.IsDeadlock()) stats_.deadlocks.fetch_add(1);
+            return s;
+          }
+          locked.insert(k);
+          all_locked = false;
+        }
+      }
+      if (!all_locked) continue;  // re-read under the extended lock set
+
+      for (size_t i = 0; i < reply->keys.size(); ++i) {
+        const std::string& k = reply->keys[i];
+        if (skip_equal && k == resume) continue;
+        out->emplace_back(k, reply->values[i]);
+        if (limit != 0 && out->size() >= limit) return Status::OK();
+      }
+      break;
+    }
+
+    if (fencepost.empty()) return Status::OK();  // covered to the end
+    resume = fencepost;
+    skip_equal = false;  // the fencepost record itself is not yet emitted
+  }
+  return Status::Busy("scan validation kept racing");
+}
+
+Status TransactionComponent::CreateTable(TableId table,
+                                         const std::string& routing_key) {
+  OperationRequest req;
+  req.op = OpType::kCreateTable;
+  req.table_id = table;
+  req.key = routing_key;
+  StatusOr<OperationReply> reply = ExecuteOp(req, kInvalidTxnId);
+  if (!reply.ok()) return reply.status();
+  if (reply->status.ok()) {
+    // DDL is auto-committed: force its log record so the table's
+    // existence survives an immediate TC crash.
+    log_.ForceTo(reply->lsn - 1);
+  }
+  return reply->status;
+}
+
+Status TransactionComponent::ReadShared(TableId table, const std::string& key,
+                                        ReadFlavor flavor,
+                                        std::string* value) {
+  OperationRequest req;
+  req.op = OpType::kRead;
+  req.table_id = table;
+  req.key = key;
+  req.read_flavor = flavor;
+  StatusOr<OperationReply> reply = ExecuteOp(req, kInvalidTxnId);
+  if (!reply.ok()) return reply.status();
+  if (reply->status.ok()) *value = reply->value;
+  return reply->status;
+}
+
+Status TransactionComponent::ScanShared(
+    TableId table, const std::string& from, const std::string& to,
+    uint32_t limit, ReadFlavor flavor,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  std::string resume = from;
+  bool skip_equal = false;
+  for (;;) {
+    OperationRequest req;
+    req.op = OpType::kScanRange;
+    req.table_id = table;
+    req.key = resume;
+    req.end_key = to;
+    req.read_flavor = flavor;
+    req.limit = 128;
+    StatusOr<OperationReply> reply = ExecuteOp(req, kInvalidTxnId);
+    if (!reply.ok()) return reply.status();
+    if (!reply->status.ok()) return reply->status;
+    size_t added = 0;
+    for (size_t i = 0; i < reply->keys.size(); ++i) {
+      if (skip_equal && reply->keys[i] == resume) continue;
+      out->emplace_back(reply->keys[i], reply->values[i]);
+      ++added;
+      if (limit != 0 && out->size() >= limit) return Status::OK();
+    }
+    if (reply->keys.empty() || added == 0) return Status::OK();
+    resume = reply->keys.back();
+    skip_equal = true;
+  }
+}
+
+// ---- Commit / Abort -------------------------------------------------------------
+
+Status TransactionComponent::Commit(TxnId txn) {
+  TxnState state;
+  {
+    std::lock_guard<std::mutex> guard(txn_mu_);
+    auto it = txns_.find(txn);
+    if (it == txns_.end()) return Status::NotFound("unknown transaction");
+    state = it->second;
+  }
+
+  TcLogRecord rec;
+  rec.type = TcLogRecordType::kCommit;
+  rec.txn = txn;
+  std::string payload;
+  rec.EncodeTo(&payload);
+  const uint64_t commit_index = log_.Append(std::move(payload));
+
+  // Log force for durability (§4.1.1(4)); read-only txns skip the force.
+  if (!state.undo_chain.empty()) {
+    if (options_.group_commit) {
+      if (!log_.WaitStableThrough(commit_index, options_.commit_timeout_ms)) {
+        return Status::TimedOut("group commit force did not complete");
+      }
+    } else {
+      log_.ForceTo(commit_index);
+    }
+  }
+
+  // §6.2.2: after the commit point, eliminate the before versions.
+  if (options_.versioning && !state.written_keys.empty()) {
+    Status s = FinishVersionedCommit(txn, state.written_keys);
+    if (!s.ok()) return s;
+  }
+
+  locks_->ReleaseAll(txn);
+  {
+    std::lock_guard<std::mutex> guard(txn_mu_);
+    txns_.erase(txn);
+  }
+  stats_.txns_committed.fetch_add(1);
+  return Status::OK();
+}
+
+Status TransactionComponent::FinishVersionedCommit(
+    TxnId txn,
+    const std::vector<std::pair<TableId, std::string>>& written_keys) {
+  std::set<std::pair<TableId, std::string>> seen;
+  for (const auto& [table, key] : written_keys) {
+    if (!seen.insert({table, key}).second) continue;
+    OperationRequest req;
+    req.op = OpType::kPromoteVersion;
+    req.table_id = table;
+    req.key = key;
+    StatusOr<OperationReply> reply = ExecuteOp(req, txn);
+    if (!reply.ok()) return reply.status();
+    if (!reply->status.ok()) return reply->status;
+  }
+  TcLogRecord end;
+  end.type = TcLogRecordType::kTxnEnd;
+  end.txn = txn;
+  std::string payload;
+  end.EncodeTo(&payload);
+  log_.Append(std::move(payload));
+  return Status::OK();
+}
+
+Status TransactionComponent::UndoTxnLocked(TxnState* state) {
+  // Submit inverse logical operations in reverse chronological order
+  // (§4.1.1(2b)), logging each as a CLR.
+  for (auto it = state->undo_chain.rbegin(); it != state->undo_chain.rend();
+       ++it) {
+    OperationRequest inverse;
+    inverse.table_id = it->table;
+    inverse.key = it->key;
+    if (options_.versioning) {
+      inverse.op = OpType::kRollbackVersion;
+    } else {
+      switch (it->op) {
+        case OpType::kInsert:
+          inverse.op = OpType::kDelete;
+          break;
+        case OpType::kUpdate:
+          inverse.op = OpType::kUpdate;
+          inverse.value = it->before;
+          break;
+        case OpType::kDelete:
+          inverse.op = OpType::kInsert;
+          inverse.value = it->before;
+          break;
+        case OpType::kUpsert:
+          if (it->has_before) {
+            inverse.op = OpType::kUpdate;
+            inverse.value = it->before;
+          } else {
+            inverse.op = OpType::kDelete;
+          }
+          break;
+        default:
+          continue;
+      }
+    }
+    StatusOr<OperationReply> reply =
+        ExecuteOp(inverse, state->id, TcLogRecordType::kClr, it->lsn);
+    if (!reply.ok()) return reply.status();
+    // NotFound during versioned rollback is fine (idempotent).
+  }
+  return Status::OK();
+}
+
+Status TransactionComponent::Abort(TxnId txn) {
+  TxnState state;
+  {
+    std::lock_guard<std::mutex> guard(txn_mu_);
+    auto it = txns_.find(txn);
+    if (it == txns_.end()) return Status::NotFound("unknown transaction");
+    state = it->second;
+  }
+  Status undo = UndoTxnLocked(&state);
+  if (!undo.ok()) return undo;
+
+  TcLogRecord rec;
+  rec.type = TcLogRecordType::kAbort;
+  rec.txn = txn;
+  std::string payload;
+  rec.EncodeTo(&payload);
+  log_.Append(std::move(payload));
+
+  locks_->ReleaseAll(txn);
+  {
+    std::lock_guard<std::mutex> guard(txn_mu_);
+    txns_.erase(txn);
+  }
+  stats_.txns_aborted.fetch_add(1);
+  return Status::OK();
+}
+
+// ---- Checkpoint -------------------------------------------------------------------
+
+Lsn TransactionComponent::rssp() const {
+  std::lock_guard<std::mutex> guard(rssp_mu_);
+  return rssp_;
+}
+
+Status TransactionComponent::TakeCheckpoint() {
+  if (crashed_.load()) return Status::Crashed("tc is down");
+  // Candidate RSSP: every op at or below the LWM has completed; ask the
+  // DCs to make pages with ops below it stable.
+  log_.Force();
+  const Lsn candidate = log_.sealed_prefix_end();
+  PushControls();
+  for (const auto& binding : dcs_) {
+    ControlRequest req;
+    req.type = ControlType::kCheckpoint;
+    req.tc_id = options_.tc_id;
+    req.lsn = candidate;
+    StatusOr<ControlReply> reply = ControlAwait(binding.id, req, 60000);
+    if (!reply.ok()) return reply.status();
+    if (!reply->status.ok()) return reply->status;
+  }
+  {
+    std::lock_guard<std::mutex> guard(rssp_mu_);
+    if (candidate > rssp_) rssp_ = candidate;
+  }
+  TcLogRecord rec;
+  rec.type = TcLogRecordType::kCheckpoint;
+  rec.rssp = candidate;
+  std::string payload;
+  rec.EncodeTo(&payload);
+  const uint64_t index = log_.Append(std::move(payload));
+  log_.ForceTo(index);
+
+  // Contract termination (§4.2): the log below min(RSSP, oldest active
+  // txn begin) is no longer needed for redo or undo.
+  Lsn oldest_active = candidate;
+  {
+    std::lock_guard<std::mutex> guard(txn_mu_);
+    for (const auto& [id, state] : txns_) {
+      for (const auto& entry : state.undo_chain) {
+        oldest_active = std::min(oldest_active, entry.lsn);
+      }
+    }
+  }
+  const Lsn keep_from = std::min(candidate, oldest_active);
+  if (keep_from > 1) log_.TruncatePrefix(keep_from - 1);
+  stats_.checkpoints.fetch_add(1);
+  return Status::OK();
+}
+
+// ---- Failures ---------------------------------------------------------------------
+
+void TransactionComponent::Crash() {
+  crashed_.store(true);
+  log_.Crash();
+  // Wake every waiter with a crash indication; volatile state is gone.
+  std::map<Lsn, std::shared_ptr<OutstandingOp>> orphans;
+  {
+    std::lock_guard<std::mutex> guard(out_mu_);
+    orphans.swap(outstanding_);
+  }
+  for (auto& [lsn, op] : orphans) {
+    op->completed = true;
+    op->reply.status = Status::Crashed("tc crashed");
+    op->done.Notify();
+  }
+  {
+    std::lock_guard<std::mutex> guard(control_mu_);
+    for (auto& [seq, pending] : pending_controls_) {
+      pending->reply.status = Status::Crashed("tc crashed");
+      pending->done.Notify();
+    }
+    pending_controls_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> guard(txn_mu_);
+    txns_.clear();
+  }
+  locks_ = std::make_unique<LockManager>(options_.locks);
+}
+
+Status TransactionComponent::Analyze(AnalysisResult* out) {
+  out->rssp = 1;
+  const uint64_t begin = log_.truncated_prefix();
+  const uint64_t end = log_.stable_end();
+  if (begin > 0) out->rssp = begin + 1;
+  std::map<TxnId, bool> versioned_txn;
+  for (uint64_t i = begin; i < end; ++i) {
+    std::string payload;
+    if (!log_.ReadAt(i, &payload).ok()) continue;
+    Slice in(payload);
+    TcLogRecord rec;
+    if (!TcLogRecord::DecodeFrom(&in, &rec)) {
+      return Status::Corruption("bad tc log record");
+    }
+    const Lsn lsn = i + 1;
+    switch (rec.type) {
+      case TcLogRecordType::kCheckpoint:
+        if (rec.rssp > out->rssp) out->rssp = rec.rssp;
+        break;
+      case TcLogRecordType::kBegin:
+        out->losers[rec.txn] = TxnState{rec.txn, {}, {}};
+        break;
+      case TcLogRecordType::kOperation: {
+        auto it = out->losers.find(rec.txn);
+        if (it != out->losers.end() && rec.applied && IsWriteOp(rec.op) &&
+            rec.op != OpType::kPromoteVersion &&
+            rec.op != OpType::kRollbackVersion) {
+          it->second.undo_chain.push_back(UndoEntry{
+              lsn, rec.op, rec.table_id, rec.key, rec.before,
+              rec.has_before});
+          it->second.written_keys.emplace_back(rec.table_id, rec.key);
+          if (rec.versioned) versioned_txn[rec.txn] = true;
+        }
+        break;
+      }
+      case TcLogRecordType::kClr:
+        out->undone[rec.txn].push_back(rec.undo_target);
+        break;
+      case TcLogRecordType::kCommit: {
+        auto it = out->losers.find(rec.txn);
+        if (it != out->losers.end()) {
+          if (versioned_txn.count(rec.txn) > 0) {
+            out->committed_pending_promote[rec.txn] =
+                it->second.written_keys;
+          }
+          out->losers.erase(it);
+        }
+        break;
+      }
+      case TcLogRecordType::kAbort:
+        out->losers.erase(rec.txn);
+        break;
+      case TcLogRecordType::kTxnEnd:
+        out->committed_pending_promote.erase(rec.txn);
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status TransactionComponent::RedoResend(Lsn from_lsn, DcId only_dc,
+                                        bool all_dcs) {
+  const uint64_t begin =
+      std::max<uint64_t>(from_lsn == 0 ? 0 : from_lsn - 1,
+                         log_.truncated_prefix());
+  // Resend through the sealed prefix, not just the stable one: a healthy
+  // TC resending after a DC crash or an escalation (§6.1.2) still owns
+  // its sealed-but-unforced tail (e.g. post-commit version promotes).
+  // After a TC crash, Crash() already dropped the volatile tail, so
+  // sealed == stable and this is exactly the stable log.
+  const uint64_t end = log_.sealed_prefix_end();
+  for (uint64_t i = begin; i < end; ++i) {
+    std::string payload;
+    if (!log_.ReadAt(i, &payload).ok()) continue;
+    Slice in(payload);
+    TcLogRecord rec;
+    if (!TcLogRecord::DecodeFrom(&in, &rec)) continue;
+    if (rec.type != TcLogRecordType::kOperation &&
+        rec.type != TcLogRecordType::kClr) {
+      continue;
+    }
+    if (!IsWriteOp(rec.op)) continue;  // reads have no redo effect
+    // Logically-failed operations (NotFound / AlreadyExists) had no
+    // effect; re-executing them against recovered state could produce a
+    // DIFFERENT outcome. Version ops are always resent (idempotent).
+    if (!rec.applied && rec.op != OpType::kPromoteVersion &&
+        rec.op != OpType::kRollbackVersion) {
+      continue;
+    }
+
+    OperationRequest req;
+    req.tc_id = options_.tc_id;
+    req.lsn = i + 1;
+    req.op = rec.op;
+    req.table_id = rec.table_id;
+    req.key = rec.key;
+    req.value = rec.value;
+    req.versioned = rec.versioned;
+    req.recovery_resend = true;
+    const DcId dc = Route(rec.table_id, rec.key);
+    if (!all_dcs && dc != only_dc) continue;
+
+    // Sequential resend: conflicting operations must reach the DC in
+    // LSN order during recovery ("redo repeats history by delivering
+    // operations in the correct order to the DC", §3.2).
+    auto op = std::make_shared<OutstandingOp>();
+    op->request = req;
+    op->dc = dc;
+    op->needs_seal = false;
+    {
+      std::lock_guard<std::mutex> guard(out_mu_);
+      outstanding_[req.lsn] = op;
+    }
+    // Send directly: the per-DC "recovering" gate only holds back the
+    // background resend daemon, not the recovery driver itself.
+    ClientFor(dc)->SendOperation(op->request);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(options_.op_timeout_ms);
+    while (!op->done.WaitFor(std::chrono::milliseconds(
+        std::max<uint32_t>(options_.resend_interval_ms, 10)))) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        std::lock_guard<std::mutex> guard(out_mu_);
+        outstanding_.erase(req.lsn);
+        return Status::TimedOut("recovery resend not acknowledged");
+      }
+      stats_.resends.fetch_add(1);
+      ClientFor(dc)->SendOperation(op->request);
+    }
+    if (op->reply.status.IsCrashed()) {
+      return Status::Crashed("dc failed during recovery resend");
+    }
+  }
+  return Status::OK();
+}
+
+Status TransactionComponent::Restart(std::vector<TcId>* escalate_out) {
+  // The stable log is all that survived (§5.3.2 "TC Failure").
+  crashed_.store(false);
+  stats_.recoveries.fetch_add(1);
+
+  AnalysisResult analysis;
+  Status s = Analyze(&analysis);
+  if (!s.ok()) return s;
+  {
+    std::lock_guard<std::mutex> guard(rssp_mu_);
+    rssp_ = analysis.rssp;
+  }
+
+  // 1. Reset: each DC discards state reflecting operations beyond the
+  //    stable log end (they are lost forever). Push fresh EOSL/LWM first
+  //    so the DC can settle (force) every DC-log batch that is still
+  //    eligible before deciding what to discard.
+  PushControls();
+  const Lsn stable_end = log_.stable_end();
+  std::vector<TcId> escalate;
+  for (const auto& binding : dcs_) {
+    ControlRequest req;
+    req.type = ControlType::kRestartBegin;
+    req.tc_id = options_.tc_id;
+    req.lsn = stable_end;
+    StatusOr<ControlReply> reply = ControlAwait(binding.id, req, 60000);
+    if (!reply.ok()) return reply.status();
+    if (!reply->status.ok()) return reply->status;
+    for (TcId tc : reply->escalate_tcs) escalate.push_back(tc);
+  }
+  PushControls();
+
+  // 2. Redo: resend logged operations from the RSSP in LSN order.
+  s = RedoResend(analysis.rssp, /*only_dc=*/0, /*all_dcs=*/true);
+  if (!s.ok()) return s;
+
+  // 3. Undo losers with inverse logical operations (CLR-logged).
+  {
+    std::lock_guard<std::mutex> guard(txn_mu_);
+    TxnId max_seen = next_txn_;
+    for (const auto& [id, state] : analysis.losers) {
+      max_seen = std::max(max_seen, id + 1);
+    }
+    next_txn_ = max_seen;
+  }
+  for (auto& [id, state] : analysis.losers) {
+    // Skip operations already compensated by a stable CLR.
+    const auto undone_it = analysis.undone.find(id);
+    if (undone_it != analysis.undone.end()) {
+      std::set<Lsn> undone(undone_it->second.begin(),
+                           undone_it->second.end());
+      auto& chain = state.undo_chain;
+      chain.erase(std::remove_if(chain.begin(), chain.end(),
+                                 [&undone](const UndoEntry& e) {
+                                   return undone.count(e.lsn) > 0;
+                                 }),
+                  chain.end());
+    }
+    s = UndoTxnLocked(&state);
+    if (!s.ok()) return s;
+    TcLogRecord rec;
+    rec.type = TcLogRecordType::kAbort;
+    rec.txn = id;
+    std::string payload;
+    rec.EncodeTo(&payload);
+    log_.Append(std::move(payload));
+  }
+
+  // 4. Finish version promotion for committed-but-unpromoted txns.
+  for (const auto& [id, keys] : analysis.committed_pending_promote) {
+    s = FinishVersionedCommit(id, keys);
+    if (!s.ok()) return s;
+  }
+
+  // 5. Resume normal processing.
+  for (const auto& binding : dcs_) {
+    ControlRequest req;
+    req.type = ControlType::kRestartEnd;
+    req.tc_id = options_.tc_id;
+    ControlAwait(binding.id, req, 10000);
+  }
+  log_.Force();
+  PushControls();
+  if (escalate_out != nullptr) {
+    std::sort(escalate.begin(), escalate.end());
+    escalate.erase(std::unique(escalate.begin(), escalate.end()),
+                   escalate.end());
+    *escalate_out = std::move(escalate);
+  }
+  return Status::OK();
+}
+
+Status TransactionComponent::OnDcRestart(DcId dc) {
+  {
+    std::lock_guard<std::mutex> guard(out_mu_);
+    dc_recovering_[dc] = true;
+  }
+  PushControls();
+  Status s = RedoResend(rssp(), dc, /*all_dcs=*/false);
+  {
+    std::lock_guard<std::mutex> guard(out_mu_);
+    dc_recovering_[dc] = false;
+  }
+  if (s.ok()) {
+    // Redo complete: re-arm the LWM contract at the recovered DC.
+    ControlRequest req;
+    req.type = ControlType::kRestartEnd;
+    req.tc_id = options_.tc_id;
+    ControlAwait(dc, req, 10000);
+  }
+  resend_daemon_.Poke();
+  return s;
+}
+
+Status TransactionComponent::ResendFromRssp() {
+  Status s = RedoResend(rssp(), /*only_dc=*/0, /*all_dcs=*/true);
+  if (!s.ok()) return s;
+  // Escalated resend complete (§6.1.2): re-arm the LWM contract.
+  for (const auto& binding : dcs_) {
+    ControlRequest req;
+    req.type = ControlType::kRestartEnd;
+    req.tc_id = options_.tc_id;
+    ControlAwait(binding.id, req, 10000);
+  }
+  return s;
+}
+
+}  // namespace untx

@@ -1,0 +1,301 @@
+// TransactionComponent: the TC of the unbundled kernel (§4.1.1).
+//
+// The TC owns everything transactional and nothing physical:
+//   1. transactional locking (LockManager; record, range-partition and
+//      EOF-sentinel locks — never pages), two range protocols per §3.1;
+//   2. transaction atomicity: commit, or rollback via inverse logical
+//      operations (CLR-logged so repeated crashes during undo are safe);
+//   3. logical undo/redo logging with LSNs reserved before dispatch and
+//      records sealed when the DC reply returns the undo image;
+//   4. log forcing for durability (optionally group commit).
+//
+// Contract machinery (§4.2): unique request ids (LSNs), resend until
+// acknowledged, EOSL/LWM pushes, checkpoint (RSSP advancement), restart.
+//
+// Failure model (§5.3): Crash() loses the volatile log tail and all
+// transaction state; Restart() resets each DC (which evicts exactly the
+// pages reflecting lost operations), replays redo by resending logged
+// operations from the RSSP in LSN order, then undoes loser transactions
+// logically. A DC crash is handled by OnDcRestart: redo-resend from the
+// RSSP to that DC, then normal traffic resumes.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/status_or.h"
+#include "common/types.h"
+#include "dc/dc_api.h"
+#include "tc/dc_client.h"
+#include "tc/lock_manager.h"
+#include "tc/tc_log.h"
+#include "util/repeating_thread.h"
+#include "util/sync.h"
+#include "wal/stable_log.h"
+
+namespace untx {
+
+/// Which §3.1 protocol guards ranges (and, for kPartition, everything).
+enum class RangeLockProtocol : uint8_t {
+  /// Speculative probe -> lock returned keys (+ fencepost) -> validated
+  /// read; inserts take an instant next-key lock. Fine-grained.
+  kFetchAhead = 0,
+  /// Static partition locks over the key space; coarse, fewer locks,
+  /// less concurrency.
+  kPartition = 1,
+};
+
+/// Key-space partitioning for RangeLockProtocol::kPartition. Partition i
+/// covers [boundaries[i-1], boundaries[i]) with open ends at both sides;
+/// an empty boundary list means one whole-table lock.
+struct RangePartitionConfig {
+  std::vector<std::string> boundaries;  // sorted ascending
+
+  uint32_t PartitionOf(const std::string& key) const;
+  /// Inclusive partition index range overlapping [from, to); empty `to`
+  /// means +infinity.
+  std::pair<uint32_t, uint32_t> Overlapping(const std::string& from,
+                                            const std::string& to) const;
+  uint32_t Count() const {
+    return static_cast<uint32_t>(boundaries.size()) + 1;
+  }
+};
+
+struct TcOptions {
+  TcId tc_id = 1;
+  LockManagerOptions locks;
+  RangeLockProtocol range_protocol = RangeLockProtocol::kFetchAhead;
+  RangePartitionConfig partitions;
+  /// Keep before-versions on writes for cross-TC read committed (§6.2.2).
+  bool versioning = false;
+  uint32_t resend_interval_ms = 100;
+  uint32_t control_interval_ms = 20;
+  uint32_t op_timeout_ms = 20000;
+  uint32_t commit_timeout_ms = 20000;
+  uint32_t fetch_ahead_batch = 32;
+  /// Fetch-ahead protocol: inserts probe and instant-lock the next key so
+  /// serializable scans are phantom-safe. Costs one probe per insert.
+  bool insert_phantom_protection = true;
+  bool group_commit = false;
+  uint32_t group_commit_interval_us = 200;
+  StableLogOptions log;
+  /// Tests may drive resend/control pushes by hand.
+  bool start_daemons = true;
+};
+
+struct TcStats {
+  std::atomic<uint64_t> txns_begun{0};
+  std::atomic<uint64_t> txns_committed{0};
+  std::atomic<uint64_t> txns_aborted{0};
+  std::atomic<uint64_t> deadlocks{0};
+  std::atomic<uint64_t> ops_sent{0};
+  std::atomic<uint64_t> resends{0};
+  std::atomic<uint64_t> recoveries{0};
+  std::atomic<uint64_t> checkpoints{0};
+  std::atomic<uint64_t> probes{0};
+};
+
+struct DcBinding {
+  DcId id;
+  DcClient* client;
+};
+
+/// Routes a (table, key) to the DC holding it. Defaults to the first DC.
+using Router = std::function<DcId(TableId, const std::string&)>;
+
+class TransactionComponent {
+ public:
+  TransactionComponent(TcOptions options, std::vector<DcBinding> dcs,
+                       Router router = nullptr);
+  ~TransactionComponent();
+
+  Status Start();
+  void Stop();
+
+  // -- Transactions -----------------------------------------------------------
+  StatusOr<TxnId> Begin();
+  Status Commit(TxnId txn);
+  Status Abort(TxnId txn);
+
+  Status Read(TxnId txn, TableId table, const std::string& key,
+              std::string* value);
+  Status Insert(TxnId txn, TableId table, const std::string& key,
+                const std::string& value);
+  Status Update(TxnId txn, TableId table, const std::string& key,
+                const std::string& value);
+  Status Delete(TxnId txn, TableId table, const std::string& key);
+  Status Upsert(TxnId txn, TableId table, const std::string& key,
+                const std::string& value);
+  /// Serializable range scan over [from, to) (empty to = unbounded),
+  /// bounded by limit (0 = no bound beyond the DC default batching).
+  Status Scan(TxnId txn, TableId table, const std::string& from,
+              const std::string& to, uint32_t limit,
+              std::vector<std::pair<std::string, std::string>>* out);
+
+  /// DDL; idempotent. `routing_key` selects which DC hosts the table's
+  /// partition (a table spanning DCs is created once per DC with a key
+  /// hint from each partition — Figure 2's Movies/Reviews layout).
+  Status CreateTable(TableId table, const std::string& routing_key = "");
+
+  // -- Cross-TC shared reads (§6.2): no locks, no transaction ----------------
+  Status ReadShared(TableId table, const std::string& key, ReadFlavor flavor,
+                    std::string* value);
+  Status ScanShared(TableId table, const std::string& from,
+                    const std::string& to, uint32_t limit, ReadFlavor flavor,
+                    std::vector<std::pair<std::string, std::string>>* out);
+
+  // -- Contract drivers --------------------------------------------------------
+  /// Forces the log and pushes EOSL/LWM to every DC (the control daemon
+  /// does this periodically; exposed for tests and deterministic benches).
+  void PushControls();
+
+  /// Advances the redo scan start point: force, EOSL, checkpoint each DC,
+  /// log a checkpoint record, truncate the log (§4.2 contract
+  /// termination).
+  Status TakeCheckpoint();
+
+  // -- Failures ---------------------------------------------------------------
+  /// TC crash: loses the volatile log tail, all transaction state, all
+  /// locks, all outstanding operations.
+  void Crash();
+
+  /// TC restart (§5.3.2): reset DCs, redo-resend from RSSP, undo losers.
+  /// escalate_out (optional) collects TCs that must also resend due to
+  /// multi-TC page resets (§6.1.2).
+  Status Restart(std::vector<TcId>* escalate_out = nullptr);
+
+  /// A DC crashed and has been recovered (structures well-formed):
+  /// redo-resend every logged operation from the RSSP routed to it.
+  Status OnDcRestart(DcId dc);
+
+  /// Resend everything from the RSSP to every DC — used when another
+  /// TC's restart escalated (§6.1.2) and this TC must repopulate pages.
+  Status ResendFromRssp();
+
+  // -- Introspection ------------------------------------------------------------
+  TcId id() const { return options_.tc_id; }
+  Lsn stable_lsn() const { return log_.stable_end(); }
+  Lsn low_water_mark() const { return log_.sealed_prefix_end(); }
+  Lsn rssp() const;
+  const TcStats& stats() const { return stats_; }
+  LockManagerStats lock_stats() const { return locks_->stats(); }
+  StableLog* log() { return &log_; }
+  const TcOptions& options() const { return options_; }
+
+ private:
+  struct OutstandingOp {
+    OperationRequest request;
+    TxnId txn = kInvalidTxnId;
+    TcLogRecordType record_type = TcLogRecordType::kOperation;
+    Lsn undo_target = kInvalidLsn;
+    DcId dc = 0;
+    Notification done;
+    OperationReply reply;
+    bool completed = false;
+    /// False for recovery resends: the log record already exists.
+    bool needs_seal = true;
+    std::chrono::steady_clock::time_point last_send;
+  };
+
+  struct UndoEntry {
+    Lsn lsn;
+    OpType op;
+    TableId table;
+    std::string key;
+    std::string before;
+    bool has_before;
+  };
+
+  struct TxnState {
+    TxnId id;
+    std::vector<UndoEntry> undo_chain;
+    std::vector<std::pair<TableId, std::string>> written_keys;
+  };
+
+  DcId Route(TableId table, const std::string& key) const;
+  DcClient* ClientFor(DcId dc) const;
+
+  /// Reserves an LSN, registers, sends, waits for the reply. Locks must
+  /// already be held for conflicting operations.
+  StatusOr<OperationReply> ExecuteOp(
+      OperationRequest req, TxnId txn,
+      TcLogRecordType record_type = TcLogRecordType::kOperation,
+      Lsn undo_target = kInvalidLsn);
+
+  void OnOperationReply(const OperationReply& reply);
+  void OnControlReply(const ControlReply& reply);
+
+  /// Sends a control request and waits for the ack.
+  StatusOr<ControlReply> ControlAwait(DcId dc, ControlRequest req,
+                                      uint32_t timeout_ms);
+
+  void ResendPass();
+  void SendToDc(const std::shared_ptr<OutstandingOp>& op, bool is_resend);
+
+  Status LockForWrite(TxnId txn, TableId table, const std::string& key,
+                      bool is_insert);
+  Status LockForRead(TxnId txn, TableId table, const std::string& key);
+
+  Status UndoTxnLocked(TxnState* state);
+  Status FinishVersionedCommit(TxnId txn,
+                               const std::vector<std::pair<TableId,
+                                                           std::string>>&
+                                   written_keys);
+
+  /// Analysis pass over the stable log (for Restart).
+  struct AnalysisResult {
+    Lsn rssp = 1;
+    std::map<TxnId, TxnState> losers;
+    std::map<TxnId, std::vector<std::pair<TableId, std::string>>>
+        committed_pending_promote;
+    std::map<TxnId, std::vector<Lsn>> undone;  // CLR undo_targets per txn
+  };
+  Status Analyze(AnalysisResult* out);
+
+  Status RedoResend(Lsn from_lsn, DcId only_dc, bool all_dcs);
+
+  TcOptions options_;
+  std::vector<DcBinding> dcs_;
+  Router router_;
+
+  StableLog log_;
+  std::unique_ptr<LockManager> locks_;
+
+  std::atomic<bool> crashed_{false};
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex txn_mu_;
+  std::unordered_map<TxnId, TxnState> txns_;
+  TxnId next_txn_ = 1;
+
+  std::mutex out_mu_;
+  std::map<Lsn, std::shared_ptr<OutstandingOp>> outstanding_;
+  std::map<DcId, bool> dc_recovering_;
+
+  std::mutex control_mu_;
+  uint64_t next_control_seq_ = 1;
+  struct PendingControl {
+    Notification done;
+    ControlReply reply;
+  };
+  std::map<uint64_t, std::shared_ptr<PendingControl>> pending_controls_;
+
+  mutable std::mutex rssp_mu_;
+  Lsn rssp_ = 1;
+
+  RepeatingThread control_daemon_;
+  RepeatingThread resend_daemon_;
+  RepeatingThread group_commit_daemon_;
+
+  TcStats stats_;
+};
+
+}  // namespace untx

@@ -1,0 +1,116 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace untx {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketFor(uint64_t value) {
+  // Bucket b covers [2^(b-1), 2^b); bucket 0 covers {0}.
+  if (value == 0) return 0;
+  int b = 64 - __builtin_clzll(value);
+  return b >= kNumBuckets ? kNumBuckets - 1 : b;
+}
+
+uint64_t Histogram::BucketLow(int b) {
+  return b == 0 ? 0 : (1ull << (b - 1));
+}
+
+uint64_t Histogram::BucketHigh(int b) {
+  return b == 0 ? 1 : (b >= 63 ? ~0ull : (1ull << b));
+}
+
+void Histogram::Add(uint64_t value) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[BucketFor(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  std::lock_guard<std::mutex> other_guard(other.mu_);
+  std::lock_guard<std::mutex> guard(mu_);
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> guard(mu_);
+  count_ = sum_ = min_ = max_ = 0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return count_;
+}
+
+double Histogram::Average() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+}
+
+uint64_t Histogram::Min() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return min_;
+}
+
+uint64_t Histogram::Max() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return max_;
+}
+
+double Histogram::Percentile(double p) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (count_ == 0) return 0.0;
+  const uint64_t threshold =
+      static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_));
+  uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    if (seen + buckets_[b] >= threshold) {
+      // Interpolate within the bucket.
+      const double frac =
+          buckets_[b] == 0
+              ? 0.0
+              : static_cast<double>(threshold - seen) / buckets_[b];
+      const double lo = static_cast<double>(BucketLow(b));
+      const double hi = static_cast<double>(BucketHigh(b));
+      double v = lo + frac * (hi - lo);
+      if (v > static_cast<double>(max_)) v = static_cast<double>(max_);
+      if (v < static_cast<double>(min_)) v = static_cast<double>(min_);
+      return v;
+    }
+    seen += buckets_[b];
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "count=%llu avg=%.1f p50=%.0f p95=%.0f p99=%.0f max=%llu",
+           static_cast<unsigned long long>(count()), Average(),
+           Percentile(50), Percentile(95), Percentile(99),
+           static_cast<unsigned long long>(Max()));
+  return std::string(buf);
+}
+
+}  // namespace untx

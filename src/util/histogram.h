@@ -1,0 +1,45 @@
+// Latency/size histogram with percentile reporting for the bench harness.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace untx {
+
+/// Thread-safe histogram over non-negative integer samples (e.g. micros).
+/// Exponential buckets; percentile queries interpolate within a bucket.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const;
+  double Average() const;
+  uint64_t Min() const;
+  uint64_t Max() const;
+  /// p in [0, 100].
+  double Percentile(double p) const;
+
+  /// One-line summary: count/avg/p50/p95/p99/max.
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 64;
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketLow(int b);
+  static uint64_t BucketHigh(int b);
+
+  mutable std::mutex mu_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace untx

@@ -1,0 +1,109 @@
+// Latches: short-duration physical locks used inside the DC (page
+// latches) and in shared in-memory structures. Distinct from the TC's
+// transactional locks — latches are held only for the duration of one
+// atomic operation (§4.1.2 of the paper).
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <shared_mutex>
+
+namespace untx {
+
+/// Reader-writer latch. Thin wrapper over std::shared_mutex that counts
+/// acquisitions so benches can report latching traffic.
+class Latch {
+ public:
+  Latch() = default;
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  void LockShared() {
+    mu_.lock_shared();
+    shared_acquires_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void UnlockShared() { mu_.unlock_shared(); }
+
+  void LockExclusive() {
+    mu_.lock();
+    exclusive_acquires_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void UnlockExclusive() { mu_.unlock(); }
+
+  bool TryLockExclusive() {
+    if (mu_.try_lock()) {
+      exclusive_acquires_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  uint64_t shared_acquires() const {
+    return shared_acquires_.load(std::memory_order_relaxed);
+  }
+  uint64_t exclusive_acquires() const {
+    return exclusive_acquires_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_mutex mu_;
+  std::atomic<uint64_t> shared_acquires_{0};
+  std::atomic<uint64_t> exclusive_acquires_{0};
+};
+
+/// RAII shared latch guard.
+class SharedLatchGuard {
+ public:
+  explicit SharedLatchGuard(Latch* latch) : latch_(latch) {
+    latch_->LockShared();
+  }
+  ~SharedLatchGuard() { Release(); }
+  SharedLatchGuard(const SharedLatchGuard&) = delete;
+  SharedLatchGuard& operator=(const SharedLatchGuard&) = delete;
+
+  void Release() {
+    if (latch_ != nullptr) {
+      latch_->UnlockShared();
+      latch_ = nullptr;
+    }
+  }
+
+ private:
+  Latch* latch_;
+};
+
+/// RAII exclusive latch guard.
+class ExclusiveLatchGuard {
+ public:
+  explicit ExclusiveLatchGuard(Latch* latch) : latch_(latch) {
+    latch_->LockExclusive();
+  }
+  ~ExclusiveLatchGuard() { Release(); }
+  ExclusiveLatchGuard(const ExclusiveLatchGuard&) = delete;
+  ExclusiveLatchGuard& operator=(const ExclusiveLatchGuard&) = delete;
+
+  void Release() {
+    if (latch_ != nullptr) {
+      latch_->UnlockExclusive();
+      latch_ = nullptr;
+    }
+  }
+
+ private:
+  Latch* latch_;
+};
+
+/// Tiny test-and-set spinlock for very short critical sections.
+class SpinLock {
+ public:
+  void lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+}  // namespace untx

@@ -1,0 +1,64 @@
+// Small synchronization helpers: one-shot notification and count-down
+// latch, used by tests and by the TC's reply correlation machinery.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace untx {
+
+/// One-shot event. Notify() releases all current and future Wait()ers.
+class Notification {
+ public:
+  void Notify() {
+    std::lock_guard<std::mutex> guard(mu_);
+    notified_ = true;
+    cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return notified_; });
+  }
+
+  /// Returns false on timeout.
+  bool WaitFor(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, timeout, [this] { return notified_; });
+  }
+
+  bool HasBeenNotified() {
+    std::lock_guard<std::mutex> guard(mu_);
+    return notified_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool notified_ = false;
+};
+
+/// Blocks waiters until the count reaches zero.
+class CountDownLatch {
+ public:
+  explicit CountDownLatch(uint64_t count) : count_(count) {}
+
+  void CountDown() {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (count_ > 0 && --count_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t count_;
+};
+
+}  // namespace untx

@@ -1,0 +1,139 @@
+#include "wal/stable_log.h"
+
+#include <cassert>
+#include <chrono>
+#include <thread>
+
+namespace untx {
+
+StableLog::StableLog(StableLogOptions options) : options_(options) {}
+
+uint64_t StableLog::Reserve() {
+  std::lock_guard<std::mutex> guard(mu_);
+  records_.emplace_back();
+  return base_ + records_.size() - 1;
+}
+
+void StableLog::Seal(uint64_t index, std::string payload) {
+  std::lock_guard<std::mutex> guard(mu_);
+  assert(index >= base_ && index < base_ + records_.size());
+  Record& rec = records_[index - base_];
+  assert(!rec.sealed);
+  bytes_appended_ += payload.size();
+  rec.payload = std::move(payload);
+  rec.sealed = true;
+}
+
+uint64_t StableLog::Append(std::string payload) {
+  std::lock_guard<std::mutex> guard(mu_);
+  bytes_appended_ += payload.size();
+  records_.emplace_back();
+  records_.back().payload = std::move(payload);
+  records_.back().sealed = true;
+  return base_ + records_.size() - 1;
+}
+
+uint64_t StableLog::Force() { return ForceTo(~0ull); }
+
+uint64_t StableLog::ForceTo(uint64_t index) {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t target = stable_end_;
+  const uint64_t total = base_ + records_.size();
+  while (target < total && records_[target - base_].sealed &&
+         target <= index) {
+    ++target;
+  }
+  // Also extend past `index` opportunistically? No: stop at the sealed
+  // prefix; `index` is only a lower bound on desire, the prefix rule is
+  // what limits us.
+  if (target > stable_end_) {
+    ++force_count_;
+    if (options_.force_delay_us > 0) {
+      lock.unlock();
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.force_delay_us));
+      lock.lock();
+      // Re-derive target under the lock; more records may have sealed.
+      const uint64_t total2 = base_ + records_.size();
+      while (target < total2 && records_[target - base_].sealed) {
+        ++target;
+      }
+    }
+    if (target > stable_end_) stable_end_ = target;
+    stable_cv_.notify_all();
+  }
+  return stable_end_;
+}
+
+bool StableLog::WaitStableThrough(uint64_t index, uint32_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stable_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                             [this, index] { return stable_end_ > index; });
+}
+
+uint64_t StableLog::stable_end() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return stable_end_;
+}
+
+uint64_t StableLog::total_end() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return base_ + records_.size();
+}
+
+uint64_t StableLog::sealed_prefix_end() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  uint64_t end = stable_end_;
+  const uint64_t total = base_ + records_.size();
+  while (end < total && records_[end - base_].sealed) ++end;
+  return end;
+}
+
+Status StableLog::ReadAt(uint64_t index, std::string* out) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (index < base_) {
+    return Status::NotFound("log record truncated");
+  }
+  if (index >= base_ + records_.size()) {
+    return Status::NotFound("log record beyond end");
+  }
+  const Record& rec = records_[index - base_];
+  if (!rec.sealed) {
+    return Status::Busy("log record not sealed");
+  }
+  *out = rec.payload;
+  return Status::OK();
+}
+
+void StableLog::Crash() {
+  std::lock_guard<std::mutex> guard(mu_);
+  assert(stable_end_ >= base_);
+  records_.resize(stable_end_ - base_);
+}
+
+void StableLog::TruncatePrefix(uint64_t index) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (index <= base_) return;
+  // Never truncate into the volatile region.
+  if (index > stable_end_) index = stable_end_;
+  records_.erase(records_.begin(),
+                 records_.begin() + static_cast<ptrdiff_t>(index - base_));
+  base_ = index;
+}
+
+uint64_t StableLog::truncated_prefix() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return base_;
+}
+
+uint64_t StableLog::bytes_appended() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return bytes_appended_;
+}
+
+uint64_t StableLog::force_count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return force_count_;
+}
+
+}  // namespace untx

@@ -1,0 +1,98 @@
+// StableLog: simulated append-only log with an explicit volatile tail.
+//
+// Used for both the TC's logical transaction log and each DC's
+// system-transaction log. Records are opaque byte strings; the record's
+// index (0-based, dense) is its position. Durability model:
+//
+//   [0, stable_end)            on "disk", survives Crash()
+//   [stable_end, total_end)    volatile buffer, lost by Crash()
+//
+// The TC assigns an operation's LSN *before* dispatching it (§5.1), but
+// can only complete the record's undo image once the DC replies. The log
+// therefore supports Reserve() (claim an index now) + Seal() (provide the
+// payload later). Force() advances stable_end through the longest sealed
+// prefix — an unsealed record blocks durability of everything after it,
+// which is exactly the paper's low-water-mark structure: everything at or
+// below the force point has completed.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace untx {
+
+struct StableLogOptions {
+  /// Simulated device latency charged to every Force() that makes at
+  /// least one record stable (models an fsync). Microseconds.
+  uint32_t force_delay_us = 0;
+};
+
+class StableLog {
+ public:
+  explicit StableLog(StableLogOptions options = {});
+
+  /// Claims the next index with no payload yet. The record is volatile
+  /// and unsealed; Force() cannot pass it.
+  uint64_t Reserve();
+
+  /// Provides the payload for a reserved index and seals it.
+  void Seal(uint64_t index, std::string payload);
+
+  /// Reserve + Seal in one step.
+  uint64_t Append(std::string payload);
+
+  /// Makes the longest sealed prefix stable. Returns new stable_end.
+  uint64_t Force();
+
+  /// Forces at least through `index` if sealed; returns new stable_end.
+  uint64_t ForceTo(uint64_t index);
+
+  /// Blocks until stable_end > index (i.e. record `index` is durable) or
+  /// timeout. Used by group commit. Returns false on timeout.
+  bool WaitStableThrough(uint64_t index, uint32_t timeout_ms);
+
+  /// Index one past the last stable record.
+  uint64_t stable_end() const;
+  /// Index one past the last reserved record.
+  uint64_t total_end() const;
+  /// Longest sealed prefix end (== what Force() would make stable).
+  uint64_t sealed_prefix_end() const;
+
+  /// Reads a record. Only stable or sealed-volatile records are readable;
+  /// reading an unsealed reservation returns kBusy.
+  Status ReadAt(uint64_t index, std::string* out) const;
+
+  /// Drops the volatile tail (sealed or not). This is the component crash.
+  void Crash();
+
+  /// Logically discards records before `index` (checkpoint truncation).
+  /// Indices of surviving records are unchanged.
+  void TruncatePrefix(uint64_t index);
+  uint64_t truncated_prefix() const;
+
+  // Stats for the logging benches (C9) and log-volume accounting (C4).
+  uint64_t bytes_appended() const;
+  uint64_t force_count() const;
+
+ private:
+  struct Record {
+    std::string payload;
+    bool sealed = false;
+  };
+
+  StableLogOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable stable_cv_;
+  std::vector<Record> records_;  // records_[i] is log index base_ + i
+  uint64_t base_ = 0;            // first retained index
+  uint64_t stable_end_ = 0;
+  uint64_t bytes_appended_ = 0;
+  uint64_t force_count_ = 0;
+};
+
+}  // namespace untx

@@ -1,0 +1,234 @@
+#include "dc/ab_lsn.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+
+namespace untx {
+namespace {
+
+TEST(AbstractLsnTest, EmptyCoversNothing) {
+  AbstractLsn ab;
+  EXPECT_FALSE(ab.Covers(1));
+  EXPECT_EQ(ab.MaxCovered(), 0u);
+  EXPECT_TRUE(ab.Collapsed());
+}
+
+TEST(AbstractLsnTest, AddAndCover) {
+  AbstractLsn ab;
+  ab.Add(5);
+  ab.Add(9);
+  EXPECT_TRUE(ab.Covers(5));
+  EXPECT_TRUE(ab.Covers(9));
+  EXPECT_FALSE(ab.Covers(7));
+  EXPECT_FALSE(ab.Covers(4));
+  EXPECT_EQ(ab.MaxCovered(), 9u);
+  EXPECT_FALSE(ab.Collapsed());
+}
+
+TEST(AbstractLsnTest, OutOfOrderAddIsTheWholePoint) {
+  // §5.1: operation 9 reaches the page before operation 5.
+  AbstractLsn ab;
+  ab.Add(9);
+  EXPECT_TRUE(ab.Covers(9));
+  EXPECT_FALSE(ab.Covers(5)) << "the traditional pageLSN test would say "
+                                "covered — the abLSN must not";
+  ab.Add(5);
+  EXPECT_TRUE(ab.Covers(5));
+}
+
+TEST(AbstractLsnTest, AdvancePrunesInSet) {
+  AbstractLsn ab;
+  ab.Add(3);
+  ab.Add(7);
+  ab.Add(12);
+  ab.AdvanceTo(7);
+  EXPECT_EQ(ab.lw(), 7u);
+  EXPECT_EQ(ab.in_set_size(), 1u);  // only 12 remains
+  EXPECT_TRUE(ab.Covers(3));
+  EXPECT_TRUE(ab.Covers(5));  // below lw: covered by definition
+  EXPECT_TRUE(ab.Covers(12));
+  EXPECT_FALSE(ab.Covers(13));
+}
+
+TEST(AbstractLsnTest, AdvanceNeverRegresses) {
+  AbstractLsn ab;
+  ab.AdvanceTo(10);
+  ab.AdvanceTo(5);
+  EXPECT_EQ(ab.lw(), 10u);
+}
+
+TEST(AbstractLsnTest, CollapseAfterAdvance) {
+  AbstractLsn ab;
+  ab.Add(4);
+  ab.Add(6);
+  EXPECT_FALSE(ab.Collapsed());
+  ab.AdvanceTo(6);
+  EXPECT_TRUE(ab.Collapsed());
+  EXPECT_EQ(ab.MaxCovered(), 6u);
+}
+
+TEST(AbstractLsnTest, DuplicateAddIgnored) {
+  AbstractLsn ab;
+  ab.Add(5);
+  ab.Add(5);
+  EXPECT_EQ(ab.in_set_size(), 1u);
+}
+
+TEST(AbstractLsnTest, MergeIsUnionWithMaxLw) {
+  AbstractLsn a, b;
+  a.AdvanceTo(10);
+  a.Add(15);
+  b.AdvanceTo(12);
+  b.Add(14);
+  b.Add(20);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.lw(), 12u);
+  EXPECT_TRUE(a.Covers(11));  // below merged lw
+  EXPECT_TRUE(a.Covers(14));
+  EXPECT_TRUE(a.Covers(15));
+  EXPECT_TRUE(a.Covers(20));
+  EXPECT_FALSE(a.Covers(16));
+}
+
+TEST(AbstractLsnTest, EncodeDecodeRoundTrip) {
+  AbstractLsn ab;
+  ab.AdvanceTo(1000);
+  ab.Add(1005);
+  ab.Add(1100);
+  ab.Add(123456789);
+  std::string buf;
+  ab.EncodeTo(&buf);
+  EXPECT_EQ(buf.size(), ab.EncodedSize());
+  Slice in(buf);
+  AbstractLsn out;
+  ASSERT_TRUE(AbstractLsn::DecodeFrom(&in, &out));
+  EXPECT_EQ(out, ab);
+}
+
+TEST(AbstractLsnTest, DecodeRejectsZeroDelta) {
+  std::string buf;
+  // lw=0, n=1, delta=0 is malformed (strictly ascending required).
+  buf.push_back(0);
+  buf.push_back(1);
+  buf.push_back(0);
+  Slice in(buf);
+  AbstractLsn out;
+  EXPECT_FALSE(AbstractLsn::DecodeFrom(&in, &out));
+}
+
+// Property: abLSN coverage must exactly match a model set under random
+// interleavings of Add and AdvanceTo.
+TEST(AbstractLsnPropertyTest, MatchesModelSet) {
+  Random rng(77);
+  for (int round = 0; round < 50; ++round) {
+    AbstractLsn ab;
+    std::set<Lsn> applied;
+    Lsn lwm = 0;
+    for (int step = 0; step < 300; ++step) {
+      if (rng.Bernoulli(0.7)) {
+        const Lsn lsn = 1 + rng.Uniform(500);
+        ab.Add(lsn);
+        applied.insert(lsn);
+      } else {
+        // The TC only advances the LWM to L when every op <= L has
+        // completed; model that by adding all of them.
+        const Lsn next = lwm + rng.Uniform(20);
+        for (Lsn l = lwm + 1; l <= next; ++l) applied.insert(l);
+        lwm = next;
+        ab.AdvanceTo(lwm);
+      }
+      for (Lsn probe = 1; probe <= 500; probe += 7) {
+        const bool model = applied.count(probe) > 0 || probe <= lwm;
+        ASSERT_EQ(ab.Covers(probe), model)
+            << "probe=" << probe << " lwm=" << lwm;
+      }
+    }
+  }
+}
+
+TEST(PageAbLsnTest, PerTcIsolation) {
+  PageAbLsn page;
+  page.Add(1, 10);
+  page.Add(2, 20);
+  EXPECT_TRUE(page.Covers(1, 10));
+  EXPECT_FALSE(page.Covers(2, 10));
+  EXPECT_TRUE(page.Covers(2, 20));
+  EXPECT_FALSE(page.Covers(1, 20));
+  EXPECT_EQ(page.TcCount(), 2u);
+  EXPECT_EQ(page.MaxCoveredFor(1), 10u);
+  EXPECT_EQ(page.MaxCoveredFor(2), 20u);
+  EXPECT_EQ(page.MaxCoveredAll(), 20u);
+}
+
+TEST(PageAbLsnTest, SingleTcPageHasOneEntry) {
+  // §6.1.1: "pages with data from only a single TC continue to have only
+  // one abLSN."
+  PageAbLsn page;
+  page.Add(3, 100);
+  page.Add(3, 200);
+  EXPECT_EQ(page.TcCount(), 1u);
+}
+
+TEST(PageAbLsnTest, AdvancePerTc) {
+  PageAbLsn page;
+  page.Add(1, 10);
+  page.Add(1, 30);
+  page.Add(2, 20);
+  page.AdvanceTo(1, 30);
+  EXPECT_TRUE(page.CollapsedAll() == false);  // tc 2 still has {20}
+  page.AdvanceTo(2, 20);
+  EXPECT_TRUE(page.CollapsedAll());
+}
+
+TEST(PageAbLsnTest, EraseAndSet) {
+  PageAbLsn page;
+  page.Add(1, 5);
+  page.Add(2, 6);
+  page.Erase(1);
+  EXPECT_FALSE(page.HasTc(1));
+  EXPECT_TRUE(page.HasTc(2));
+  AbstractLsn ab;
+  ab.AdvanceTo(99);
+  page.Set(1, ab);
+  EXPECT_TRUE(page.Covers(1, 50));
+}
+
+TEST(PageAbLsnTest, MergeAcrossTcs) {
+  PageAbLsn a, b;
+  a.Add(1, 10);
+  b.Add(1, 12);
+  b.Add(2, 7);
+  a.MergeFrom(b);
+  EXPECT_TRUE(a.Covers(1, 10));
+  EXPECT_TRUE(a.Covers(1, 12));
+  EXPECT_TRUE(a.Covers(2, 7));
+}
+
+TEST(PageAbLsnTest, EncodeDecodeRoundTrip) {
+  PageAbLsn page;
+  page.Add(1, 10);
+  page.Add(1, 99);
+  page.Add(7, 20);
+  page.AdvanceTo(1, 10);
+  std::string buf;
+  page.EncodeTo(&buf);
+  EXPECT_EQ(buf.size(), page.EncodedSize());
+  Slice in(buf);
+  PageAbLsn out;
+  ASSERT_TRUE(PageAbLsn::DecodeFrom(&in, &out));
+  EXPECT_EQ(out, page);
+}
+
+TEST(PageAbLsnTest, TotalInSetSize) {
+  PageAbLsn page;
+  page.Add(1, 10);
+  page.Add(1, 11);
+  page.Add(2, 12);
+  EXPECT_EQ(page.TotalInSetSize(), 3u);
+}
+
+}  // namespace
+}  // namespace untx

@@ -1,0 +1,242 @@
+// BufferPool unit tests: the three flush gates (DC-log WAL, TC-log
+// causality, page-sync strategy), LWM folding, the trailer round trip,
+// and the LWM-validity arming protocol — exercised directly, without a
+// DataComponent on top.
+#include "dc/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "dc/dc_log.h"
+#include "storage/stable_store.h"
+
+namespace untx {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  BufferPoolTest() : store_(), dc_log_() {}
+
+  BufferPool MakePool(PageSyncStrategy strategy,
+                      uint32_t hybrid_cap = 4) {
+    BufferPoolOptions options;
+    options.strategy = strategy;
+    options.hybrid_cap = hybrid_cap;
+    return BufferPool(&store_, &dc_log_, options);
+  }
+
+  /// Creates a formatted, dirty page with one op from tc at lsn.
+  Frame* MakeDirtyPage(BufferPool* pool, PageId pid, TcId tc, Lsn lsn) {
+    Frame* frame = pool->Create(pid);
+    SlottedPage page = frame->Page(pool->page_size(),
+                                   pool->trailer_capacity());
+    page.Init(pid, PageType::kLeaf, 0, 1);
+    frame->ablsn.Add(tc, lsn);
+    frame->first_op_lsn = lsn;
+    return frame;  // still pinned
+  }
+
+  StableStore store_;
+  DcLog dc_log_;
+};
+
+TEST_F(BufferPoolTest, CausalityGateBlocksUntilEosl) {
+  BufferPool pool = MakePool(PageSyncStrategy::kStoreFull);
+  const PageId pid = store_.Allocate();
+  Frame* frame = MakeDirtyPage(&pool, pid, /*tc=*/1, /*lsn=*/10);
+  {
+    ExclusiveLatchGuard latch(&frame->latch);
+    EXPECT_TRUE(pool.TryFlushLocked(frame).IsBusy())
+        << "op 10 is beyond the (empty) stable TC log";
+  }
+  pool.OnEndOfStableLog(1, 9);
+  {
+    ExclusiveLatchGuard latch(&frame->latch);
+    EXPECT_TRUE(pool.TryFlushLocked(frame).IsBusy()) << "EOSL 9 < op 10";
+  }
+  pool.OnEndOfStableLog(1, 10);
+  {
+    ExclusiveLatchGuard latch(&frame->latch);
+    EXPECT_TRUE(pool.TryFlushLocked(frame).ok());
+  }
+  EXPECT_FALSE(frame->dirty);
+  EXPECT_TRUE(store_.Exists(pid));
+  pool.Unpin(frame);
+}
+
+TEST_F(BufferPoolTest, CausalityGateIsPerTc) {
+  BufferPool pool = MakePool(PageSyncStrategy::kStoreFull);
+  const PageId pid = store_.Allocate();
+  Frame* frame = MakeDirtyPage(&pool, pid, 1, 10);
+  frame->ablsn.Add(2, 20);  // second TC on the same page (§6.1.1)
+  pool.OnEndOfStableLog(1, 100);
+  {
+    ExclusiveLatchGuard latch(&frame->latch);
+    EXPECT_TRUE(pool.TryFlushLocked(frame).IsBusy())
+        << "tc 2's op 20 is not on tc 2's stable log";
+  }
+  pool.OnEndOfStableLog(2, 20);
+  {
+    ExclusiveLatchGuard latch(&frame->latch);
+    EXPECT_TRUE(pool.TryFlushLocked(frame).ok());
+  }
+  pool.Unpin(frame);
+}
+
+TEST_F(BufferPoolTest, WalGateBlocksUntilDcLogStable) {
+  BufferPool pool = MakePool(PageSyncStrategy::kStoreFull);
+  const PageId pid = store_.Allocate();
+  Frame* frame = MakeDirtyPage(&pool, pid, 1, 5);
+  // Stamp a page dLSN for an SMO whose batch cannot be forced yet
+  // (causality floor above the TC's EOSL).
+  std::vector<DcLogRecord> recs(1);
+  recs[0].type = DcLogRecordType::kPageImage;
+  recs[0].pid = pid;
+  recs[0].body = "x";
+  dc_log_.AppendBatch(&recs, {{1, 50}});
+  {
+    ExclusiveLatchGuard latch(&frame->latch);
+    frame->Page(pool.page_size(), pool.trailer_capacity())
+        .set_dlsn(recs[0].dlsn);
+  }
+  pool.OnEndOfStableLog(1, 5);  // op 5 stable, but the SMO floor is 50
+  {
+    ExclusiveLatchGuard latch(&frame->latch);
+    EXPECT_TRUE(pool.TryFlushLocked(frame).IsBusy())
+        << "page's SMO record is not on the stable DC log";
+  }
+  pool.OnEndOfStableLog(1, 50);  // floor met -> batch forcible
+  {
+    ExclusiveLatchGuard latch(&frame->latch);
+    EXPECT_TRUE(pool.TryFlushLocked(frame).ok());
+  }
+  pool.Unpin(frame);
+}
+
+TEST_F(BufferPoolTest, WaitForLwmStrategyNeedsCollapse) {
+  BufferPool pool = MakePool(PageSyncStrategy::kWaitForLwm);
+  pool.AllowLwm(1);
+  const PageId pid = store_.Allocate();
+  Frame* frame = MakeDirtyPage(&pool, pid, 1, 10);
+  pool.OnEndOfStableLog(1, 10);
+  {
+    ExclusiveLatchGuard latch(&frame->latch);
+    EXPECT_TRUE(pool.TryFlushLocked(frame).IsBusy());
+  }
+  EXPECT_TRUE(frame->flush_waiting);
+  // LWM reaches the op: abLSN collapses, the parked flush completes
+  // (OnLowWaterMark retries it).
+  pool.OnLowWaterMark(1, 10);
+  EXPECT_FALSE(frame->dirty);
+  EXPECT_FALSE(frame->flush_waiting);
+  pool.Unpin(frame);
+}
+
+TEST_F(BufferPoolTest, HybridStrategyRespectsCap) {
+  BufferPool pool = MakePool(PageSyncStrategy::kHybrid, /*hybrid_cap=*/2);
+  pool.AllowLwm(1);
+  const PageId pid = store_.Allocate();
+  Frame* frame = MakeDirtyPage(&pool, pid, 1, 10);
+  frame->ablsn.Add(1, 12);
+  frame->ablsn.Add(1, 14);  // in-set size 3 > cap 2
+  pool.OnEndOfStableLog(1, 14);
+  {
+    ExclusiveLatchGuard latch(&frame->latch);
+    EXPECT_TRUE(pool.TryFlushLocked(frame).IsBusy());
+  }
+  pool.OnLowWaterMark(1, 12);  // prunes to {14}: size 1 <= cap
+  EXPECT_FALSE(frame->dirty);
+  pool.Unpin(frame);
+}
+
+TEST_F(BufferPoolTest, TrailerRoundTripThroughStore) {
+  BufferPool pool = MakePool(PageSyncStrategy::kStoreFull);
+  const PageId pid = store_.Allocate();
+  Frame* frame = MakeDirtyPage(&pool, pid, 3, 77);
+  frame->ablsn.Add(3, 99);
+  pool.OnEndOfStableLog(3, 99);
+  {
+    ExclusiveLatchGuard latch(&frame->latch);
+    ASSERT_TRUE(pool.TryFlushLocked(frame).ok());
+  }
+  pool.Unpin(frame);
+  // A second pool (fresh cache) must recover the abLSN from the trailer.
+  BufferPool pool2 = MakePool(PageSyncStrategy::kStoreFull);
+  Frame* reloaded = nullptr;
+  ASSERT_TRUE(pool2.Fetch(pid, &reloaded).ok());
+  EXPECT_TRUE(reloaded->ablsn.Covers(3, 77));
+  EXPECT_TRUE(reloaded->ablsn.Covers(3, 99));
+  EXPECT_FALSE(reloaded->ablsn.Covers(3, 100));
+  pool2.Unpin(reloaded);
+}
+
+TEST_F(BufferPoolTest, LwmIgnoredUntilArmed) {
+  BufferPool pool = MakePool(PageSyncStrategy::kStoreFull);
+  const PageId pid = store_.Allocate();
+  Frame* frame = MakeDirtyPage(&pool, pid, 1, 10);
+  pool.OnLowWaterMark(1, 100);
+  EXPECT_EQ(pool.lwm_for(1), 0u) << "un-armed LWM must be dropped";
+  pool.AllowLwm(1);
+  pool.OnLowWaterMark(1, 100);
+  EXPECT_EQ(pool.lwm_for(1), 100u);
+  pool.DisallowLwm(1);
+  EXPECT_EQ(pool.lwm_for(1), 0u) << "disarming revokes the stored LWM";
+  pool.Unpin(frame);
+}
+
+TEST_F(BufferPoolTest, ConsolidationSafetyTracksArming) {
+  BufferPool pool = MakePool(PageSyncStrategy::kStoreFull);
+  EXPECT_TRUE(pool.ConsolidationSafe()) << "no TCs known yet";
+  pool.OnEndOfStableLog(1, 5);
+  EXPECT_FALSE(pool.ConsolidationSafe())
+      << "tc 1 has spoken but not re-armed: its redo may be in flight";
+  pool.AllowLwm(1);
+  EXPECT_TRUE(pool.ConsolidationSafe());
+  pool.OnEndOfStableLog(2, 5);  // a second, un-armed TC appears
+  EXPECT_FALSE(pool.ConsolidationSafe());
+  pool.AllowLwm(2);
+  EXPECT_TRUE(pool.ConsolidationSafe());
+}
+
+TEST_F(BufferPoolTest, EvictionPrefersCleanLru) {
+  BufferPoolOptions options;
+  options.capacity = 2;
+  options.strategy = PageSyncStrategy::kStoreFull;
+  BufferPool pool(&store_, &dc_log_, options);
+  pool.OnEndOfStableLog(1, 100);
+  // Two clean pages, then a third triggers eviction of the oldest.
+  std::vector<PageId> pids;
+  for (int i = 0; i < 3; ++i) {
+    const PageId pid = store_.Allocate();
+    pids.push_back(pid);
+    Frame* frame = MakeDirtyPage(&pool, pid, 1, 10 + i);
+    {
+      ExclusiveLatchGuard latch(&frame->latch);
+      ASSERT_TRUE(pool.TryFlushLocked(frame).ok());
+    }
+    pool.Unpin(frame);
+  }
+  EXPECT_LE(pool.FrameCount(), 2u);
+  EXPECT_GT(pool.stats().evictions, 0u);
+  // The evicted page is still fetchable from the store.
+  Frame* back = nullptr;
+  ASSERT_TRUE(pool.Fetch(pids[0], &back).ok());
+  pool.Unpin(back);
+}
+
+TEST_F(BufferPoolTest, ClearDropsEverything) {
+  BufferPool pool = MakePool(PageSyncStrategy::kStoreFull);
+  pool.AllowLwm(1);
+  pool.OnEndOfStableLog(1, 50);
+  pool.OnLowWaterMark(1, 50);
+  const PageId pid = store_.Allocate();
+  Frame* frame = MakeDirtyPage(&pool, pid, 1, 10);
+  pool.Unpin(frame);
+  pool.Clear();
+  EXPECT_EQ(pool.FrameCount(), 0u);
+  EXPECT_EQ(pool.eosl_for(1), 0u);
+  EXPECT_EQ(pool.lwm_for(1), 0u);
+  EXPECT_FALSE(pool.LwmAllowed(1)) << "crash disarms every TC's LWM";
+}
+
+}  // namespace
+}  // namespace untx

@@ -1,0 +1,275 @@
+// Multi-TC deployment tests: the Figure 2 movie site, cross-TC sharing
+// (§6.2), per-TC failure and escalation (§6.1.2).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "cloud/deployment.h"
+#include "cloud/movie_site.h"
+
+namespace untx {
+namespace cloud {
+namespace {
+
+TEST(MovieSiteTest, SetupAndAllWorkloads) {
+  MovieSiteConfig config;
+  config.num_users = 20;
+  config.num_movies = 10;
+  auto site_or = MovieSite::Open(config);
+  ASSERT_TRUE(site_or.ok());
+  auto site = std::move(site_or).ValueOrDie();
+  ASSERT_TRUE(site->Setup().ok());
+
+  // W2: every user reviews a few movies.
+  for (uint32_t uid = 0; uid < config.num_users; ++uid) {
+    for (uint32_t m = 0; m < 3; ++m) {
+      const uint32_t mid = (uid + m * 7) % config.num_movies;
+      ASSERT_TRUE(site->W2AddReview(uid, mid, "review " +
+                                                  std::to_string(uid) + "/" +
+                                                  std::to_string(mid))
+                      .ok());
+    }
+  }
+  // W1: reviews clustered by movie, one DC each.
+  std::vector<std::pair<std::string, std::string>> reviews;
+  ASSERT_TRUE(site->W1GetMovieReviews(0, &reviews).ok());
+  EXPECT_GT(reviews.size(), 0u);
+  for (const auto& [key, value] : reviews) {
+    EXPECT_EQ(key.substr(0, 9), MovieKey(0)) << key;
+  }
+  // W3.
+  ASSERT_TRUE(site->W3UpdateProfile(5, "new-profile").ok());
+  // W4: reviews clustered by user.
+  std::vector<std::pair<std::string, std::string>> mine;
+  ASSERT_TRUE(site->W4GetUserReviews(5, &mine).ok());
+  EXPECT_EQ(mine.size(), 3u);
+  // The redundant MyReviews copy agrees with Reviews.
+  ASSERT_TRUE(site->VerifyConsistency().ok());
+}
+
+TEST(MovieSiteTest, W2IsSingleTcNoDistributedCommit) {
+  MovieSiteConfig config;
+  config.num_users = 4;
+  config.num_movies = 4;
+  auto site = std::move(MovieSite::Open(config)).ValueOrDie();
+  ASSERT_TRUE(site->Setup().ok());
+  // The review insert spans DC0/DC1 (movie partition) and DC2
+  // (MyReviews), yet commits with a single TC log force: the other TC's
+  // log is untouched.
+  TransactionComponent* owner = site->OwnerTc(0);
+  TransactionComponent* other = site->deployment()->tc(1);
+  const Lsn other_before = other->log()->total_end();
+  ASSERT_TRUE(site->W2AddReview(0, 1, "hello").ok());
+  EXPECT_EQ(other->log()->total_end(), other_before)
+      << "no coordination with the other TC (no 2PC)";
+  EXPECT_GT(owner->stats().txns_committed.load(), 0u);
+}
+
+TEST(MovieSiteTest, ReadCommittedReaderSeesOnlyCommitted) {
+  MovieSiteConfig config;
+  config.num_users = 4;
+  config.num_movies = 2;
+  config.versioning = true;
+  auto site = std::move(MovieSite::Open(config)).ValueOrDie();
+  ASSERT_TRUE(site->Setup().ok());
+  ASSERT_TRUE(site->W2AddReview(0, 0, "committed-review").ok());
+
+  // An open (uncommitted) update by the owner TC...
+  TransactionComponent* owner = site->OwnerTc(0);
+  StatusOr<TxnId> txn = owner->Begin();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE(owner->Update(*txn, kReviewsTable, ReviewKey(0, 0),
+                            "uncommitted-edit")
+                  .ok());
+
+  // ...is invisible to the read-committed reader (TC3's view) and does
+  // not block it (§6.2.2: "Readers are never blocked").
+  std::vector<std::pair<std::string, std::string>> reviews;
+  ASSERT_TRUE(site->W1GetMovieReviews(0, &reviews).ok());
+  ASSERT_EQ(reviews.size(), 1u);
+  EXPECT_EQ(reviews[0].second, "committed-review");
+
+  ASSERT_TRUE(owner->Commit(*txn).ok());
+  ASSERT_TRUE(site->W1GetMovieReviews(0, &reviews).ok());
+  ASSERT_EQ(reviews.size(), 1u);
+  EXPECT_EQ(reviews[0].second, "uncommitted-edit");
+}
+
+TEST(MovieSiteTest, DirtyReadSeesUncommitted) {
+  MovieSiteConfig config;
+  config.num_users = 2;
+  config.num_movies = 1;
+  config.versioning = false;  // dirty-read deployment (§6.2.1)
+  auto site = std::move(MovieSite::Open(config)).ValueOrDie();
+  ASSERT_TRUE(site->Setup().ok());
+  ASSERT_TRUE(site->W2AddReview(0, 0, "v1").ok());
+
+  TransactionComponent* owner = site->OwnerTc(0);
+  StatusOr<TxnId> txn = owner->Begin();
+  ASSERT_TRUE(owner->Update(*txn, kReviewsTable, ReviewKey(0, 0), "dirty")
+                  .ok());
+  std::vector<std::pair<std::string, std::string>> reviews;
+  ASSERT_TRUE(site->W1GetMovieReviews(0, &reviews).ok());
+  ASSERT_EQ(reviews.size(), 1u);
+  EXPECT_EQ(reviews[0].second, "dirty")
+      << "dirty reads see uncommitted data (§6.2.1)";
+  owner->Abort(*txn);
+}
+
+TEST(MovieSiteTest, AbortedReviewLeavesNoTrace) {
+  MovieSiteConfig config;
+  config.num_users = 2;
+  config.num_movies = 1;
+  auto site = std::move(MovieSite::Open(config)).ValueOrDie();
+  ASSERT_TRUE(site->Setup().ok());
+  TransactionComponent* owner = site->OwnerTc(1);
+  StatusOr<TxnId> txn = owner->Begin();
+  ASSERT_TRUE(owner->Insert(*txn, kReviewsTable, ReviewKey(0, 1), "tmp").ok());
+  ASSERT_TRUE(owner->Insert(*txn, kMyReviewsTable, MyReviewKey(1, 0), "tmp")
+                  .ok());
+  ASSERT_TRUE(owner->Abort(*txn).ok());
+  std::vector<std::pair<std::string, std::string>> reviews;
+  ASSERT_TRUE(site->W1GetMovieReviews(0, &reviews).ok());
+  EXPECT_TRUE(reviews.empty());
+  ASSERT_TRUE(site->VerifyConsistency().ok());
+}
+
+TEST(MovieSiteTest, TcCrashRecoveryKeepsSiteConsistent) {
+  MovieSiteConfig config;
+  config.num_users = 10;
+  config.num_movies = 5;
+  auto site = std::move(MovieSite::Open(config)).ValueOrDie();
+  ASSERT_TRUE(site->Setup().ok());
+  for (uint32_t uid = 0; uid < config.num_users; ++uid) {
+    ASSERT_TRUE(site->W2AddReview(uid, uid % config.num_movies, "r").ok());
+  }
+  // Crash TC1 (owner of even uids) and restart; escalation (if any) is
+  // handled by the deployment.
+  ASSERT_TRUE(site->deployment()->CrashAndRestartTc(0).ok());
+  ASSERT_TRUE(site->VerifyConsistency().ok());
+  // The restarted TC keeps working.
+  ASSERT_TRUE(site->W2AddReview(2, 1, "post-restart").ok());
+  ASSERT_TRUE(site->VerifyConsistency().ok());
+}
+
+TEST(MovieSiteTest, DcCrashRecoveryKeepsSiteConsistent) {
+  MovieSiteConfig config;
+  config.num_users = 10;
+  config.num_movies = 5;
+  auto site = std::move(MovieSite::Open(config)).ValueOrDie();
+  ASSERT_TRUE(site->Setup().ok());
+  for (uint32_t uid = 0; uid < config.num_users; ++uid) {
+    ASSERT_TRUE(site->W2AddReview(uid, uid % config.num_movies, "r").ok());
+  }
+  // Crash the shared user DC (DC2): BOTH TCs must redo-resend to it.
+  ASSERT_TRUE(site->deployment()->CrashAndRecoverDc(2).ok());
+  ASSERT_TRUE(site->VerifyConsistency().ok());
+  std::vector<std::pair<std::string, std::string>> mine;
+  ASSERT_TRUE(site->W4GetUserReviews(3, &mine).ok());
+  EXPECT_EQ(mine.size(), 1u);
+}
+
+TEST(MovieSiteTest, ConcurrentMixedWorkload) {
+  MovieSiteConfig config;
+  config.num_users = 16;
+  config.num_movies = 8;
+  auto site = std::move(MovieSite::Open(config)).ValueOrDie();
+  ASSERT_TRUE(site->Setup().ok());
+
+  std::atomic<int> w2_ok{0}, w1_ok{0};
+  std::thread writer1([&] {
+    for (uint32_t i = 0; i < 30; ++i) {
+      if (site->W2AddReview(0 + 2 * (i % 8), i % 8, "a").ok()) {
+        w2_ok.fetch_add(1);
+      }
+    }
+  });
+  std::thread writer2([&] {
+    for (uint32_t i = 0; i < 30; ++i) {
+      if (site->W2AddReview(1 + 2 * (i % 7), i % 8, "b").ok()) {
+        w2_ok.fetch_add(1);
+      }
+    }
+  });
+  std::thread reader([&] {
+    for (uint32_t i = 0; i < 60; ++i) {
+      std::vector<std::pair<std::string, std::string>> reviews;
+      if (site->W1GetMovieReviews(i % 8, &reviews).ok()) {
+        w1_ok.fetch_add(1);
+      }
+    }
+  });
+  writer1.join();
+  writer2.join();
+  reader.join();
+  EXPECT_EQ(w2_ok.load(), 60);
+  EXPECT_EQ(w1_ok.load(), 60);
+  ASSERT_TRUE(site->VerifyConsistency().ok());
+}
+
+TEST(DeploymentTest, DisjointPartitionsTwoTcsOneDc) {
+  DeploymentOptions options;
+  options.num_dcs = 1;
+  for (int t = 0; t < 2; ++t) {
+    TcSpec spec;
+    spec.options.tc_id = static_cast<TcId>(t + 1);
+    spec.options.control_interval_ms = 5;
+    options.tcs.push_back(spec);
+  }
+  auto deployment = std::move(Deployment::Open(options)).ValueOrDie();
+  ASSERT_TRUE(deployment->tc(0)->CreateTable(9).ok());
+
+  // Interleaved writes from both TCs to disjoint keys of one table on one
+  // DC — the §6.1.1 multi-abLSN case.
+  for (int i = 0; i < 50; ++i) {
+    for (int t = 0; t < 2; ++t) {
+      TransactionComponent* tc = deployment->tc(t);
+      StatusOr<TxnId> txn = tc->Begin();
+      ASSERT_TRUE(txn.ok());
+      const std::string key =
+          std::string(t == 0 ? "a" : "b") + std::to_string(i);
+      ASSERT_TRUE(tc->Insert(*txn, 9, key, "v").ok());
+      ASSERT_TRUE(tc->Commit(*txn).ok());
+    }
+  }
+  // Both TCs read everything (dirty reads commute, §6.2.1).
+  std::vector<std::pair<std::string, std::string>> rows;
+  ASSERT_TRUE(deployment->tc(1)->ScanShared(9, "", "", 0, ReadFlavor::kDirty,
+                                            &rows)
+                  .ok());
+  EXPECT_EQ(rows.size(), 100u);
+}
+
+TEST(DeploymentTest, TcCrashOnSharedDcSparesOtherTc) {
+  DeploymentOptions options;
+  options.num_dcs = 1;
+  for (int t = 0; t < 2; ++t) {
+    TcSpec spec;
+    spec.options.tc_id = static_cast<TcId>(t + 1);
+    spec.options.control_interval_ms = 5;
+    options.tcs.push_back(spec);
+  }
+  auto deployment = std::move(Deployment::Open(options)).ValueOrDie();
+  ASSERT_TRUE(deployment->tc(0)->CreateTable(9).ok());
+  for (int i = 0; i < 30; ++i) {
+    for (int t = 0; t < 2; ++t) {
+      TransactionComponent* tc = deployment->tc(t);
+      StatusOr<TxnId> txn = tc->Begin();
+      const std::string key =
+          std::string(t == 0 ? "a" : "b") + std::to_string(i);
+      ASSERT_TRUE(tc->Insert(*txn, 9, key, "v" + std::to_string(t)).ok());
+      ASSERT_TRUE(tc->Commit(*txn).ok());
+    }
+  }
+  ASSERT_TRUE(deployment->CrashAndRestartTc(0).ok());
+  // All committed rows of both TCs visible.
+  std::vector<std::pair<std::string, std::string>> rows;
+  ASSERT_TRUE(deployment->tc(1)->ScanShared(9, "", "", 0, ReadFlavor::kDirty,
+                                            &rows)
+                  .ok());
+  EXPECT_EQ(rows.size(), 60u);
+}
+
+}  // namespace
+}  // namespace cloud
+}  // namespace untx

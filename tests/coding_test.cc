@@ -1,0 +1,129 @@
+#include "common/coding.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace untx {
+namespace {
+
+TEST(CodingTest, FixedRoundTrip) {
+  std::string buf;
+  PutFixed16(&buf, 0xbeef);
+  PutFixed32(&buf, 0xdeadbeefu);
+  PutFixed64(&buf, 0x0123456789abcdefull);
+  Slice in(buf);
+  uint16_t a;
+  uint32_t b;
+  uint64_t c;
+  ASSERT_TRUE(GetFixed16(&in, &a));
+  ASSERT_TRUE(GetFixed32(&in, &b));
+  ASSERT_TRUE(GetFixed64(&in, &c));
+  EXPECT_EQ(a, 0xbeef);
+  EXPECT_EQ(b, 0xdeadbeefu);
+  EXPECT_EQ(c, 0x0123456789abcdefull);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, VarintBoundaries) {
+  const uint64_t cases[] = {0,
+                            1,
+                            127,
+                            128,
+                            16383,
+                            16384,
+                            (1ull << 32) - 1,
+                            1ull << 32,
+                            ~0ull};
+  std::string buf;
+  for (uint64_t v : cases) PutVarint64(&buf, v);
+  Slice in(buf);
+  for (uint64_t v : cases) {
+    uint64_t got;
+    ASSERT_TRUE(GetVarint64(&in, &got));
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, Varint32RejectsTruncated) {
+  std::string buf;
+  PutVarint32(&buf, 1u << 30);
+  for (size_t cut = 0; cut + 1 < buf.size(); ++cut) {
+    Slice in(buf.data(), cut);
+    uint32_t v;
+    EXPECT_FALSE(GetVarint32(&in, &v)) << "cut=" << cut;
+  }
+}
+
+TEST(CodingTest, VarintLengthMatchesEncoding) {
+  Random rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Next() >> rng.Uniform(64);
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(static_cast<int>(buf.size()), VarintLength(v));
+  }
+}
+
+TEST(CodingTest, LengthPrefixedSliceRoundTrip) {
+  std::string buf;
+  PutLengthPrefixedSlice(&buf, Slice("hello"));
+  PutLengthPrefixedSlice(&buf, Slice(""));
+  PutLengthPrefixedSlice(&buf, Slice("world!"));
+  Slice in(buf);
+  Slice a, b, c;
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &a));
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &b));
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &c));
+  EXPECT_EQ(a, Slice("hello"));
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(c, Slice("world!"));
+}
+
+TEST(CodingTest, LengthPrefixedSliceRejectsUnderflow) {
+  std::string buf;
+  PutVarint32(&buf, 100);  // claims 100 bytes follow
+  buf += "short";
+  Slice in(buf);
+  Slice out;
+  EXPECT_FALSE(GetLengthPrefixedSlice(&in, &out));
+}
+
+TEST(CodingTest, RandomizedRoundTrip) {
+  Random rng(99);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string buf;
+    std::vector<uint64_t> values;
+    std::vector<std::string> slices;
+    for (int i = 0; i < 20; ++i) {
+      uint64_t v = rng.Next() >> rng.Uniform(64);
+      values.push_back(v);
+      PutVarint64(&buf, v);
+      std::string s = rng.Bytes(rng.Uniform(50));
+      slices.push_back(s);
+      PutLengthPrefixedSlice(&buf, Slice(s));
+    }
+    Slice in(buf);
+    for (int i = 0; i < 20; ++i) {
+      uint64_t v;
+      Slice s;
+      ASSERT_TRUE(GetVarint64(&in, &v));
+      ASSERT_TRUE(GetLengthPrefixedSlice(&in, &s));
+      EXPECT_EQ(v, values[i]);
+      EXPECT_EQ(s.ToString(), slices[i]);
+    }
+  }
+}
+
+TEST(SliceTest, CompareAndPrefix) {
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abd").compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);
+  EXPECT_TRUE(Slice("abcdef").starts_with(Slice("abc")));
+  EXPECT_FALSE(Slice("ab").starts_with(Slice("abc")));
+}
+
+}  // namespace
+}  // namespace untx

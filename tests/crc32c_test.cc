@@ -1,0 +1,42 @@
+#include "common/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace untx {
+namespace crc32c {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // Standard CRC32C test vector: "123456789" -> 0xe3069283.
+  const char* digits = "123456789";
+  EXPECT_EQ(Value(digits, 9), 0xe3069283u);
+  // All-zero 32-byte buffer -> 0x8a9136aa.
+  char zeros[32] = {0};
+  EXPECT_EQ(Value(zeros, 32), 0x8a9136aau);
+}
+
+TEST(Crc32cTest, ExtendComposes) {
+  const std::string data = "hello world, this is a page image";
+  const uint32_t whole = Value(data.data(), data.size());
+  const uint32_t part = Extend(Value(data.data(), 10), data.data() + 10,
+                               data.size() - 10);
+  EXPECT_EQ(whole, part);
+}
+
+TEST(Crc32cTest, DifferentInputsDiffer) {
+  EXPECT_NE(Value("abc", 3), Value("abd", 3));
+  EXPECT_NE(Value("abc", 3), Value("abc", 2));
+}
+
+TEST(Crc32cTest, MaskRoundTrip) {
+  for (uint32_t crc : {0u, 1u, 0xdeadbeefu, 0xffffffffu, 0xe3069283u}) {
+    EXPECT_EQ(Unmask(Mask(crc)), crc);
+    EXPECT_NE(Mask(crc), crc);  // masking must move the value
+  }
+}
+
+}  // namespace
+}  // namespace crc32c
+}  // namespace untx

@@ -1,0 +1,156 @@
+// DcLog unit tests: batch atomicity, causality floors, deferred frees,
+// truncation at batch boundaries, pending-batch discard.
+#include "dc/dc_log.h"
+
+#include <gtest/gtest.h>
+
+namespace untx {
+namespace {
+
+DcLogRecord Image(PageId pid, TcId tc, Lsn max_op) {
+  DcLogRecord rec;
+  rec.type = DcLogRecordType::kPageImage;
+  rec.pid = pid;
+  rec.body = "page-bytes";
+  if (max_op != 0) rec.ablsn.Add(tc, max_op);
+  return rec;
+}
+
+TEST(DcLogTest, RecordRoundTrip) {
+  DcLogRecord rec;
+  rec.type = DcLogRecordType::kSplitOld;
+  rec.dlsn = 42;
+  rec.pid = 7;
+  rec.split_key = "middle";
+  rec.aux_pid = 8;
+  rec.body = "bytes";
+  rec.ablsn.Add(3, 100);
+  std::string buf;
+  rec.EncodeTo(&buf);
+  Slice in(buf);
+  DcLogRecord out;
+  ASSERT_TRUE(DcLogRecord::DecodeFrom(&in, &out));
+  EXPECT_EQ(out.type, DcLogRecordType::kSplitOld);
+  EXPECT_EQ(out.dlsn, 42u);
+  EXPECT_EQ(out.pid, 7u);
+  EXPECT_EQ(out.split_key, "middle");
+  EXPECT_EQ(out.aux_pid, 8u);
+  EXPECT_EQ(out.body, "bytes");
+  EXPECT_TRUE(out.ablsn.Covers(3, 100));
+}
+
+TEST(DcLogTest, BatchAssignsMonotonicDlsns) {
+  DcLog log;
+  std::vector<DcLogRecord> recs{Image(1, 1, 0), Image(2, 1, 0)};
+  log.AppendBatch(&recs, {});
+  EXPECT_GT(recs[0].dlsn, 0u);
+  EXPECT_GT(recs[1].dlsn, recs[0].dlsn);
+}
+
+TEST(DcLogTest, FloorGatesForcing) {
+  DcLog log;
+  std::vector<DcLogRecord> recs{Image(1, /*tc=*/1, /*max_op=*/50)};
+  log.AppendBatch(&recs, {{1, 50}});
+  // EOSL below the floor: must not force.
+  log.ForceEligible({{1, 49}});
+  EXPECT_FALSE(log.FullyForced());
+  EXPECT_TRUE(log.ReadStableBatches().empty());
+  // EOSL reaches the floor: forced.
+  log.ForceEligible({{1, 50}});
+  EXPECT_TRUE(log.FullyForced());
+  ASSERT_EQ(log.ReadStableBatches().size(), 1u);
+}
+
+TEST(DcLogTest, BatchesForceStrictlyInOrder) {
+  DcLog log;
+  std::vector<DcLogRecord> first{Image(1, 1, 100)};
+  log.AppendBatch(&first, {{1, 100}});
+  std::vector<DcLogRecord> second{Image(2, 1, 0)};  // no floor at all
+  log.AppendBatch(&second, {});
+  // The second batch is eligible but must wait behind the first.
+  log.ForceEligible({{1, 10}});
+  EXPECT_TRUE(log.ReadStableBatches().empty());
+  log.ForceEligible({{1, 100}});
+  EXPECT_EQ(log.ReadStableBatches().size(), 2u);
+}
+
+TEST(DcLogTest, DeferredFreesReleasedAtForce) {
+  DcLog log;
+  std::vector<DcLogRecord> recs{Image(1, 1, 0)};
+  log.AppendBatch(&recs, {}, {99});
+  std::vector<PageId> freed;
+  log.ForceEligible({}, &freed);
+  ASSERT_EQ(freed.size(), 1u);
+  EXPECT_EQ(freed[0], 99u);
+  // Second force releases nothing more.
+  freed.clear();
+  log.ForceEligible({}, &freed);
+  EXPECT_TRUE(freed.empty());
+}
+
+TEST(DcLogTest, CrashDropsPendingBatches) {
+  DcLog log;
+  std::vector<DcLogRecord> stable_batch{Image(1, 1, 0)};
+  log.AppendBatch(&stable_batch, {});
+  log.ForceEligible({});
+  std::vector<DcLogRecord> volatile_batch{Image(2, 1, 0)};
+  log.AppendBatch(&volatile_batch, {{1, 1000}});  // unforceable
+  log.Crash();
+  EXPECT_EQ(log.ReadStableBatches().size(), 1u);
+  EXPECT_TRUE(log.FullyForced()) << "pending list cleared with the tail";
+}
+
+TEST(DcLogTest, DiscardPendingReturnsAffectedPages) {
+  DcLog log;
+  std::vector<DcLogRecord> recs{Image(5, 2, 500), Image(6, 2, 500)};
+  log.AppendBatch(&recs, {{2, 500}});
+  auto discarded = log.DiscardPending();
+  ASSERT_EQ(discarded.size(), 1u);
+  EXPECT_EQ(discarded[0].pids.size(), 2u);
+  EXPECT_EQ(discarded[0].floor.at(2), 500u);
+  EXPECT_TRUE(log.ReadStableBatches().empty());
+}
+
+TEST(DcLogTest, TruncateSnapsToBatchBoundary) {
+  DcLog log;
+  for (int b = 0; b < 3; ++b) {
+    std::vector<DcLogRecord> recs{Image(static_cast<PageId>(10 + b), 1, 0)};
+    log.AppendBatch(&recs, {});
+  }
+  log.ForceEligible({});
+  ASSERT_EQ(log.ReadStableBatches().size(), 3u);
+  // Each batch is 3 records (begin, image, commit): indices 0..8.
+  // Ask to truncate into the middle of batch 2 (index 4 => dlsn 5):
+  // truncation must snap DOWN to batch 2's start, keeping it whole.
+  log.TruncateBelow(5);
+  auto batches = log.ReadStableBatches();
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].records[0].pid, 11u);
+}
+
+TEST(DcLogTest, StableDlsnEndTracksForcedRecords) {
+  DcLog log;
+  EXPECT_EQ(log.stable_dlsn_end(), 1u);
+  std::vector<DcLogRecord> recs{Image(1, 1, 0)};
+  log.AppendBatch(&recs, {});
+  EXPECT_EQ(log.stable_dlsn_end(), 1u) << "not yet forced";
+  log.ForceEligible({});
+  EXPECT_EQ(log.stable_dlsn_end(), 4u);  // begin+image+commit = dlsn 1..3
+}
+
+TEST(DcLogTest, MultiTcFloors) {
+  DcLog log;
+  DcLogRecord rec = Image(1, 1, 10);
+  rec.ablsn.Add(2, 20);
+  std::vector<DcLogRecord> recs{rec};
+  log.AppendBatch(&recs, {{1, 10}, {2, 20}});
+  log.ForceEligible({{1, 10}});  // tc 2 floor unmet
+  EXPECT_FALSE(log.FullyForced());
+  log.ForceEligible({{1, 10}, {2, 19}});
+  EXPECT_FALSE(log.FullyForced());
+  log.ForceEligible({{1, 10}, {2, 20}});
+  EXPECT_TRUE(log.FullyForced());
+}
+
+}  // namespace
+}  // namespace untx

@@ -1,0 +1,177 @@
+#include "monolithic/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+
+namespace untx {
+namespace monolithic {
+namespace {
+
+constexpr TableId kTable = 1;
+
+std::string Key(int i) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "k%06d", i);
+  return buf;
+}
+
+class MonolithicTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StableStoreOptions store_options;
+    store_options.page_size = 1024;
+    store_options.trailer_capacity = 128;
+    store_ = std::make_unique<StableStore>(store_options);
+    engine_ = std::make_unique<MonolithicEngine>(store_.get());
+    ASSERT_TRUE(engine_->Initialize().ok());
+    ASSERT_TRUE(engine_->CreateTable(kTable).ok());
+  }
+
+  Status Put(const std::string& key, const std::string& value) {
+    StatusOr<TxnId> txn = engine_->Begin();
+    if (!txn.ok()) return txn.status();
+    Status s = engine_->Insert(*txn, kTable, key, value);
+    if (!s.ok()) {
+      engine_->Abort(*txn);
+      return s;
+    }
+    return engine_->Commit(*txn);
+  }
+
+  StatusOr<std::string> Get(const std::string& key) {
+    StatusOr<TxnId> txn = engine_->Begin();
+    if (!txn.ok()) return txn.status();
+    std::string value;
+    Status s = engine_->Read(*txn, kTable, key, &value);
+    engine_->Commit(*txn);
+    if (!s.ok()) return s;
+    return value;
+  }
+
+  std::unique_ptr<StableStore> store_;
+  std::unique_ptr<MonolithicEngine> engine_;
+};
+
+TEST_F(MonolithicTest, BasicCrud) {
+  ASSERT_TRUE(Put("a", "1").ok());
+  EXPECT_EQ(*Get("a"), "1");
+  StatusOr<TxnId> txn = engine_->Begin();
+  ASSERT_TRUE(engine_->Update(*txn, kTable, "a", "2").ok());
+  ASSERT_TRUE(engine_->Commit(*txn).ok());
+  EXPECT_EQ(*Get("a"), "2");
+  txn = engine_->Begin();
+  ASSERT_TRUE(engine_->Delete(*txn, kTable, "a").ok());
+  ASSERT_TRUE(engine_->Commit(*txn).ok());
+  EXPECT_TRUE(Get("a").status().IsNotFound());
+}
+
+TEST_F(MonolithicTest, AbortUndoes) {
+  ASSERT_TRUE(Put("k", "original").ok());
+  StatusOr<TxnId> txn = engine_->Begin();
+  ASSERT_TRUE(engine_->Update(*txn, kTable, "k", "changed").ok());
+  ASSERT_TRUE(engine_->Insert(*txn, kTable, "extra", "x").ok());
+  ASSERT_TRUE(engine_->Abort(*txn).ok());
+  EXPECT_EQ(*Get("k"), "original");
+  EXPECT_TRUE(Get("extra").status().IsNotFound());
+}
+
+TEST_F(MonolithicTest, SplitsAndScans) {
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(Put(Key(i), "v" + std::to_string(i)).ok()) << i;
+  }
+  EXPECT_GT(engine_->stats().splits, 0u);
+  StatusOr<TxnId> txn = engine_->Begin();
+  std::vector<std::pair<std::string, std::string>> rows;
+  ASSERT_TRUE(engine_->Scan(*txn, kTable, Key(100), Key(120), 0, &rows).ok());
+  ASSERT_EQ(rows.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(rows[i].first, Key(100 + i));
+  }
+  engine_->Commit(*txn);
+}
+
+TEST_F(MonolithicTest, CrashRecoveryCommittedSurvives) {
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(Put(Key(i), "d").ok()) << i;
+  }
+  engine_->Crash();
+  ASSERT_TRUE(engine_->Recover().ok());
+  for (int i = 0; i < n; ++i) {
+    auto v = Get(Key(i));
+    ASSERT_TRUE(v.ok()) << i << " " << v.status().ToString();
+    ASSERT_EQ(*v, "d");
+  }
+}
+
+TEST_F(MonolithicTest, CrashLosesUncommitted) {
+  ASSERT_TRUE(Put("committed", "c").ok());
+  StatusOr<TxnId> txn = engine_->Begin();
+  ASSERT_TRUE(engine_->Insert(*txn, kTable, "uncommitted", "u").ok());
+  // No commit: crash.
+  engine_->Crash();
+  ASSERT_TRUE(engine_->Recover().ok());
+  EXPECT_EQ(*Get("committed"), "c");
+  EXPECT_TRUE(Get("uncommitted").status().IsNotFound());
+}
+
+TEST_F(MonolithicTest, RecoveryAfterFlushAndMoreWrites) {
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(Put(Key(i), "v1").ok());
+  ASSERT_TRUE(engine_->FlushAll().ok());
+  for (int i = 100; i < 200; ++i) ASSERT_TRUE(Put(Key(i), "v2").ok());
+  engine_->Crash();
+  ASSERT_TRUE(engine_->Recover().ok());
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(*Get(Key(i)), "v1") << i;
+  for (int i = 100; i < 200; ++i) ASSERT_EQ(*Get(Key(i)), "v2") << i;
+}
+
+TEST_F(MonolithicTest, RandomWorkloadMatchesModelThroughCrashes) {
+  Random rng(99);
+  std::map<std::string, std::string> model;
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    for (int step = 0; step < 150; ++step) {
+      const std::string key = Key(static_cast<int>(rng.Uniform(80)));
+      StatusOr<TxnId> txn = engine_->Begin();
+      ASSERT_TRUE(txn.ok());
+      if (model.count(key) == 0) {
+        const std::string value = rng.Bytes(10);
+        if (engine_->Insert(*txn, kTable, key, value).ok() &&
+            engine_->Commit(*txn).ok()) {
+          model[key] = value;
+        } else {
+          engine_->Abort(*txn);
+        }
+      } else if (rng.Bernoulli(0.4)) {
+        if (engine_->Delete(*txn, kTable, key).ok() &&
+            engine_->Commit(*txn).ok()) {
+          model.erase(key);
+        } else {
+          engine_->Abort(*txn);
+        }
+      } else {
+        const std::string value = rng.Bytes(10);
+        if (engine_->Update(*txn, kTable, key, value).ok() &&
+            engine_->Commit(*txn).ok()) {
+          model[key] = value;
+        } else {
+          engine_->Abort(*txn);
+        }
+      }
+    }
+    engine_->Crash();
+    ASSERT_TRUE(engine_->Recover().ok());
+    for (const auto& [k, v] : model) {
+      auto got = Get(k);
+      ASSERT_TRUE(got.ok()) << "cycle " << cycle << " key " << k;
+      ASSERT_EQ(*got, v) << "cycle " << cycle << " key " << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace monolithic
+}  // namespace untx

@@ -1,0 +1,79 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace untx {
+namespace {
+
+TEST(RandomTest, Deterministic) {
+  Random a(1234), b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, SeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    const uint64_t v = rng.Range(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RandomTest, BernoulliRoughlyCalibrated) {
+  Random rng(7);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RandomTest, BytesHasRequestedLength) {
+  Random rng(9);
+  EXPECT_EQ(rng.Bytes(0).size(), 0u);
+  EXPECT_EQ(rng.Bytes(37).size(), 37u);
+}
+
+TEST(ZipfianTest, StaysInRange) {
+  Zipfian z(1000, 0.99, 11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(z.Next(), 1000u);
+  }
+}
+
+TEST(ZipfianTest, SkewsTowardSmallValues) {
+  Zipfian z(10000, 0.99, 13);
+  std::map<uint64_t, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[z.Next()];
+  // The most popular item must appear far more often than the uniform
+  // expectation (n / 10000 = 5).
+  int max_count = 0;
+  for (const auto& [k, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 500);
+}
+
+TEST(ZipfianTest, ZeroThetaIsRoughlyUniform) {
+  Zipfian z(100, 0.01, 17);
+  std::map<uint64_t, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[z.Next()];
+  // With near-zero skew every item should appear.
+  EXPECT_GT(counts.size(), 95u);
+}
+
+}  // namespace
+}  // namespace untx

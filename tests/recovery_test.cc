@@ -1,0 +1,307 @@
+// Partial-failure tests (§5.3): DC crash, TC crash, combined, and crash
+// storms checked against an in-memory model.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "kernel/unbundled_db.h"
+
+namespace untx {
+namespace {
+
+constexpr TableId kTable = 1;
+
+std::string Key(int i) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "k%06d", i);
+  return buf;
+}
+
+UnbundledDbOptions Options() {
+  UnbundledDbOptions options;
+  options.store.page_size = 1024;
+  options.store.trailer_capacity = 128;
+  options.dc.max_value_size = 200;
+  options.tc.control_interval_ms = 5;
+  options.tc.resend_interval_ms = 20;
+  return options;
+}
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void Open(UnbundledDbOptions options) {
+    auto db = UnbundledDb::Open(options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).ValueOrDie();
+    ASSERT_TRUE(db_->CreateTable(kTable).ok());
+  }
+
+  Status Put(const std::string& key, const std::string& value) {
+    Txn txn(db_->tc());
+    Status s = txn.Insert(kTable, key, value);
+    if (!s.ok()) {
+      txn.Abort();
+      return s;
+    }
+    return txn.Commit();
+  }
+
+  StatusOr<std::string> Get(const std::string& key) {
+    Txn txn(db_->tc());
+    std::string value;
+    Status s = txn.Read(kTable, key, &value);
+    txn.Commit();
+    if (!s.ok()) return s;
+    return value;
+  }
+
+  std::map<std::string, std::string> ScanAll() {
+    Txn txn(db_->tc());
+    std::vector<std::pair<std::string, std::string>> rows;
+    Status s = txn.Scan(kTable, "", "", 0, &rows);
+    txn.Commit();
+    std::map<std::string, std::string> out;
+    if (s.ok()) {
+      for (auto& [k, v] : rows) out[k] = v;
+    }
+    return out;
+  }
+
+  std::unique_ptr<UnbundledDb> db_;
+};
+
+TEST_F(RecoveryTest, DcCrashCommittedDataSurvives) {
+  Open(Options());
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(Put(Key(i), "v" + std::to_string(i)).ok()) << i;
+  }
+  db_->CrashDc(0);
+  ASSERT_TRUE(db_->RecoverDc(0).ok());
+  for (int i = 0; i < n; ++i) {
+    auto v = Get(Key(i));
+    ASSERT_TRUE(v.ok()) << i << ": " << v.status().ToString();
+    ASSERT_EQ(*v, "v" + std::to_string(i));
+  }
+  EXPECT_TRUE(db_->dc(0)->btree()->CheckInvariants(kTable).ok());
+}
+
+TEST_F(RecoveryTest, DcCrashMidTransactionOpsResume) {
+  Open(Options());
+  ASSERT_TRUE(Put("pre", "1").ok());
+  // Crash the DC, then recover it; committed data must be intact and new
+  // transactions must work.
+  db_->CrashDc(0);
+  ASSERT_TRUE(db_->RecoverDc(0).ok());
+  ASSERT_TRUE(Put("post", "2").ok());
+  EXPECT_EQ(*Get("pre"), "1");
+  EXPECT_EQ(*Get("post"), "2");
+}
+
+TEST_F(RecoveryTest, TcCrashLosesUncommittedKeepsCommitted) {
+  Open(Options());
+  ASSERT_TRUE(Put("committed", "yes").ok());
+
+  // A transaction that never commits: its effects must vanish.
+  StatusOr<TxnId> txn = db_->Begin();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE(db_->tc()->Insert(*txn, kTable, "uncommitted", "x").ok());
+
+  db_->CrashTc();
+  ASSERT_TRUE(db_->RestartTc().ok());
+
+  EXPECT_EQ(*Get("committed"), "yes");
+  EXPECT_TRUE(Get("uncommitted").status().IsNotFound())
+      << "loser transactions must be undone or their effects reset";
+}
+
+TEST_F(RecoveryTest, TcCrashAfterCommitIsDurable) {
+  Open(Options());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(Put(Key(i), "durable").ok());
+  }
+  db_->CrashTc();
+  ASSERT_TRUE(db_->RestartTc().ok());
+  for (int i = 0; i < 50; ++i) {
+    auto v = Get(Key(i));
+    ASSERT_TRUE(v.ok()) << i;
+    ASSERT_EQ(*v, "durable");
+  }
+}
+
+TEST_F(RecoveryTest, TcCrashResetsDcCachePages) {
+  Open(Options());
+  ASSERT_TRUE(Put("stable", "s").ok());
+  // Give the control daemon a beat to push EOSL/LWM, then force pages out.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  db_->dc(0)->pool()->FlushAllEligible();
+
+  // Uncommitted write sits only in the DC cache (beyond the stable log
+  // after the crash wipes the tail... commit was never issued).
+  StatusOr<TxnId> txn = db_->Begin();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE(db_->tc()->Update(*txn, kTable, "stable", "dirty").ok());
+
+  db_->CrashTc();
+  ASSERT_TRUE(db_->RestartTc().ok());
+
+  auto v = Get("stable");
+  ASSERT_TRUE(v.ok());
+  // Depending on whether the update's log record was forced before the
+  // crash, recovery either redoes it and undoes it (loser txn) or the
+  // reset discarded it. Either way the committed value is back.
+  EXPECT_EQ(*v, "s");
+}
+
+TEST_F(RecoveryTest, DoubleCrashDuringRecoveryWindow) {
+  Open(Options());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(Put(Key(i), "v").ok());
+  }
+  db_->CrashDc(0);
+  ASSERT_TRUE(db_->RecoverDc(0).ok());
+  db_->CrashDc(0);  // crash again immediately
+  ASSERT_TRUE(db_->RecoverDc(0).ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(Get(Key(i)).ok()) << i;
+  }
+}
+
+TEST_F(RecoveryTest, TcThenDcCrash) {
+  Open(Options());
+  for (int i = 0; i < 80; ++i) {
+    ASSERT_TRUE(Put(Key(i), "both").ok());
+  }
+  db_->CrashTc();
+  ASSERT_TRUE(db_->RestartTc().ok());
+  db_->CrashDc(0);
+  ASSERT_TRUE(db_->RecoverDc(0).ok());
+  for (int i = 0; i < 80; ++i) {
+    auto v = Get(Key(i));
+    ASSERT_TRUE(v.ok()) << i;
+    ASSERT_EQ(*v, "both");
+  }
+}
+
+TEST_F(RecoveryTest, CompleteFailureBothComponents) {
+  // "The complete failure of both TC and DC returns us to the current
+  // fail-together situation" (§5.3.2).
+  Open(Options());
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(Put(Key(i), "v").ok());
+  }
+  db_->CrashTc();
+  db_->CrashDc(0);
+  db_->dc(0)->Restore();
+  ASSERT_TRUE(db_->dc(0)->Recover().ok());
+  ASSERT_TRUE(db_->RestartTc().ok());
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(Get(Key(i)).ok()) << i;
+  }
+}
+
+TEST_F(RecoveryTest, CheckpointBoundsRedoWork) {
+  Open(Options());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(Put(Key(i), "v").ok());
+  }
+  ASSERT_TRUE(db_->tc()->TakeCheckpoint().ok());
+  const Lsn rssp = db_->tc()->rssp();
+  EXPECT_GT(rssp, 1u);
+  // After the checkpoint, more writes land.
+  for (int i = 200; i < 220; ++i) {
+    ASSERT_TRUE(Put(Key(i), "v").ok());
+  }
+  db_->CrashDc(0);
+  const uint64_t ops_before = db_->dc(0)->stats().ops.load();
+  ASSERT_TRUE(db_->RecoverDc(0).ok());
+  const uint64_t redo_ops = db_->dc(0)->stats().ops.load() - ops_before;
+  // Redo resends only from the RSSP: far fewer than all 220 inserts.
+  EXPECT_LT(redo_ops, 150u);
+  for (int i = 0; i < 220; ++i) {
+    ASSERT_TRUE(Get(Key(i)).ok()) << i;
+  }
+}
+
+TEST_F(RecoveryTest, CheckpointTruncatesLog) {
+  Open(Options());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(Put(Key(i), "v").ok());
+  }
+  EXPECT_EQ(db_->tc()->log()->truncated_prefix(), 0u);
+  ASSERT_TRUE(db_->tc()->TakeCheckpoint().ok());
+  EXPECT_GT(db_->tc()->log()->truncated_prefix(), 0u)
+      << "contract termination must release log space";
+}
+
+TEST_F(RecoveryTest, RepeatedCrashRecoverCyclesMatchModel) {
+  Open(Options());
+  Random rng(4242);
+  std::map<std::string, std::string> model;
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    // Mutate.
+    for (int i = 0; i < 40; ++i) {
+      const std::string key = Key(static_cast<int>(rng.Uniform(60)));
+      const std::string value = rng.Bytes(8);
+      Txn txn(db_->tc());
+      Status s;
+      if (model.count(key) > 0) {
+        if (rng.Bernoulli(0.3)) {
+          s = txn.Delete(kTable, key);
+          if (s.ok() && txn.Commit().ok()) model.erase(key);
+        } else {
+          s = txn.Update(kTable, key, value);
+          if (s.ok() && txn.Commit().ok()) model[key] = value;
+        }
+      } else {
+        s = txn.Insert(kTable, key, value);
+        if (s.ok() && txn.Commit().ok()) model[key] = value;
+      }
+    }
+    // Crash someone.
+    if (cycle % 3 == 0) {
+      db_->CrashDc(0);
+      ASSERT_TRUE(db_->RecoverDc(0).ok());
+    } else if (cycle % 3 == 1) {
+      db_->CrashTc();
+      ASSERT_TRUE(db_->RestartTc().ok());
+    } else {
+      ASSERT_TRUE(db_->tc()->TakeCheckpoint().ok());
+      db_->CrashDc(0);
+      ASSERT_TRUE(db_->RecoverDc(0).ok());
+    }
+    // Verify.
+    auto state = ScanAll();
+    ASSERT_EQ(state.size(), model.size()) << "cycle " << cycle;
+    for (const auto& [k, v] : model) {
+      ASSERT_TRUE(state.count(k) > 0) << "cycle " << cycle << " key " << k;
+      ASSERT_EQ(state[k], v) << "cycle " << cycle << " key " << k;
+    }
+    ASSERT_TRUE(db_->dc(0)->btree()->CheckInvariants(kTable).ok());
+  }
+}
+
+TEST_F(RecoveryTest, RecoveryWithChannelTransportAndLoss) {
+  UnbundledDbOptions options = Options();
+  options.transport = TransportKind::kChannel;
+  options.channel.request_channel.drop_prob = 0.03;
+  options.channel.reply_channel.drop_prob = 0.03;
+  options.channel.request_channel.max_delay_us = 300;
+  options.channel.reply_channel.max_delay_us = 300;
+  options.tc.resend_interval_ms = 10;
+  Open(options);
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(Put(Key(i), "v").ok()) << i;
+  }
+  db_->CrashDc(0);
+  ASSERT_TRUE(db_->RecoverDc(0).ok());
+  for (int i = 0; i < 60; ++i) {
+    auto v = Get(Key(i));
+    ASSERT_TRUE(v.ok()) << i << ": " << v.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace untx

@@ -1,0 +1,154 @@
+#include "net/sim_channel.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace untx {
+namespace {
+
+TEST(SimChannelTest, DeliversInOrderWithoutFaults) {
+  SimChannel ch;
+  ch.Send("a");
+  ch.Send("b");
+  ch.Send("c");
+  std::string out;
+  ASSERT_TRUE(ch.Receive(&out, 100));
+  EXPECT_EQ(out, "a");
+  ASSERT_TRUE(ch.Receive(&out, 100));
+  EXPECT_EQ(out, "b");
+  ASSERT_TRUE(ch.Receive(&out, 100));
+  EXPECT_EQ(out, "c");
+}
+
+TEST(SimChannelTest, ReceiveTimesOutWhenEmpty) {
+  SimChannel ch;
+  std::string out;
+  EXPECT_FALSE(ch.Receive(&out, 10));
+}
+
+TEST(SimChannelTest, TryReceiveNonBlocking) {
+  SimChannel ch;
+  std::string out;
+  EXPECT_FALSE(ch.TryReceive(&out));
+  ch.Send("x");
+  EXPECT_TRUE(ch.TryReceive(&out));
+  EXPECT_EQ(out, "x");
+}
+
+TEST(SimChannelTest, DropAllMessages) {
+  ChannelOptions options;
+  options.drop_prob = 1.0;
+  SimChannel ch(options);
+  ch.Send("gone");
+  std::string out;
+  EXPECT_FALSE(ch.Receive(&out, 10));
+  EXPECT_EQ(ch.dropped(), 1u);
+}
+
+TEST(SimChannelTest, DuplicationDeliversTwice) {
+  ChannelOptions options;
+  options.dup_prob = 1.0;
+  SimChannel ch(options);
+  ch.Send("twin");
+  std::string a, b;
+  ASSERT_TRUE(ch.Receive(&a, 100));
+  ASSERT_TRUE(ch.Receive(&b, 100));
+  EXPECT_EQ(a, "twin");
+  EXPECT_EQ(b, "twin");
+  EXPECT_EQ(ch.duplicated(), 1u);
+}
+
+TEST(SimChannelTest, RandomDelayReordersMessages) {
+  ChannelOptions options;
+  options.min_delay_us = 0;
+  options.max_delay_us = 3000;
+  options.seed = 99;
+  SimChannel ch(options);
+  const int n = 200;
+  for (int i = 0; i < n; ++i) ch.Send(std::to_string(i));
+  std::vector<std::string> got;
+  std::string out;
+  while (ch.Receive(&out, 50)) got.push_back(out);
+  ASSERT_EQ(got.size(), static_cast<size_t>(n));
+  bool reordered = false;
+  for (int i = 1; i < n; ++i) {
+    if (std::stoi(got[i]) < std::stoi(got[i - 1])) {
+      reordered = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(reordered) << "random delays should reorder some messages";
+}
+
+TEST(SimChannelTest, ClearDiscardsInFlight) {
+  SimChannel ch;
+  ch.Send("a");
+  ch.Send("b");
+  ch.Clear();
+  std::string out;
+  EXPECT_FALSE(ch.Receive(&out, 10));
+  EXPECT_EQ(ch.InFlight(), 0u);
+}
+
+TEST(SimChannelTest, CloseStopsSends) {
+  SimChannel ch;
+  ch.Close();
+  ch.Send("ignored");
+  EXPECT_EQ(ch.sent(), 0u);
+  EXPECT_TRUE(ch.closed());
+}
+
+TEST(SimChannelTest, ConcurrentProducersConsumers) {
+  SimChannel ch;
+  const int kPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&ch, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ch.Send(std::to_string(p * kPerProducer + i));
+      }
+    });
+  }
+  std::set<std::string> received;
+  std::mutex mu;
+  std::vector<std::thread> consumers;
+  std::atomic<int> count{0};
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      std::string out;
+      while (count.load() < 4 * kPerProducer) {
+        if (ch.Receive(&out, 50)) {
+          std::lock_guard<std::mutex> guard(mu);
+          received.insert(out);
+          count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(received.size(), static_cast<size_t>(4 * kPerProducer));
+}
+
+TEST(SimChannelTest, StatsConsistent) {
+  ChannelOptions options;
+  options.drop_prob = 0.5;
+  options.seed = 1;
+  SimChannel ch(options);
+  for (int i = 0; i < 1000; ++i) ch.Send("m");
+  std::string out;
+  uint64_t drained = 0;
+  while (ch.Receive(&out, 5)) ++drained;
+  EXPECT_EQ(ch.sent(), 1000u);
+  EXPECT_EQ(ch.delivered(), drained);
+  EXPECT_EQ(ch.delivered() + ch.dropped(), 1000u);
+  EXPECT_GT(ch.dropped(), 300u);
+  EXPECT_LT(ch.dropped(), 700u);
+}
+
+}  // namespace
+}  // namespace untx

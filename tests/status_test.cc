@@ -1,0 +1,82 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status_or.h"
+
+namespace untx {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryAndPredicates) {
+  EXPECT_TRUE(Status::NotFound().IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists().IsAlreadyExists());
+  EXPECT_TRUE(Status::Corruption().IsCorruption());
+  EXPECT_TRUE(Status::InvalidArgument().IsInvalidArgument());
+  EXPECT_TRUE(Status::IOError().IsIOError());
+  EXPECT_TRUE(Status::Busy().IsBusy());
+  EXPECT_TRUE(Status::Deadlock().IsDeadlock());
+  EXPECT_TRUE(Status::Aborted().IsAborted());
+  EXPECT_TRUE(Status::TimedOut().IsTimedOut());
+  EXPECT_TRUE(Status::NotSupported().IsNotSupported());
+  EXPECT_TRUE(Status::Conflict().IsConflict());
+  EXPECT_TRUE(Status::Crashed().IsCrashed());
+  EXPECT_TRUE(Status::AccessDenied().IsAccessDenied());
+  EXPECT_TRUE(Status::Shutdown().IsShutdown());
+  EXPECT_FALSE(Status::NotFound().ok());
+}
+
+TEST(StatusTest, MessagePropagates) {
+  Status s = Status::Corruption("bad checksum");
+  EXPECT_EQ(s.message(), "bad checksum");
+  EXPECT_EQ(s.ToString(), "Corruption: bad checksum");
+}
+
+TEST(StatusTest, RoundTripThroughByte) {
+  for (auto code :
+       {Status::OK(), Status::NotFound("x"), Status::AlreadyExists(),
+        Status::Corruption(), Status::InvalidArgument(), Status::IOError(),
+        Status::Busy(), Status::Deadlock(), Status::Aborted(),
+        Status::TimedOut(), Status::NotSupported(), Status::Conflict(),
+        Status::Crashed(), Status::AccessDenied(), Status::Shutdown()}) {
+    Status round = StatusFromByte(StatusCodeToByte(code.code()));
+    EXPECT_EQ(round.code(), code.code());
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound() == Status::Corruption());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("missing"));
+  ASSERT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsNotFound());
+}
+
+TEST(StatusOrTest, MoveOut) {
+  StatusOr<std::string> v(std::string("payload"));
+  ASSERT_TRUE(v.ok());
+  std::string s = std::move(v).ValueOrDie();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v(std::string("abc"));
+  EXPECT_EQ(v->size(), 3u);
+}
+
+}  // namespace
+}  // namespace untx

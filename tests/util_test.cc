@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/histogram.h"
+#include "util/latch.h"
+#include "util/repeating_thread.h"
+#include "util/sync.h"
+#include "util/thread_pool.h"
+
+namespace untx {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
+  }
+  pool.Drain();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, RejectsAfterShutdown) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([] {}));
+}
+
+TEST(ThreadPoolTest, DrainWaitsForInFlight) {
+  ThreadPool pool(2);
+  std::atomic<bool> done{false};
+  pool.Submit([&done] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    done.store(true);
+  });
+  pool.Drain();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(LatchTest, SharedReadersCoexist) {
+  Latch latch;
+  latch.LockShared();
+  latch.LockShared();
+  latch.UnlockShared();
+  latch.UnlockShared();
+  EXPECT_EQ(latch.shared_acquires(), 2u);
+}
+
+TEST(LatchTest, ExclusiveBlocksTryLock) {
+  Latch latch;
+  latch.LockExclusive();
+  EXPECT_FALSE(latch.TryLockExclusive());
+  latch.UnlockExclusive();
+  EXPECT_TRUE(latch.TryLockExclusive());
+  latch.UnlockExclusive();
+}
+
+TEST(LatchTest, GuardReleases) {
+  Latch latch;
+  {
+    ExclusiveLatchGuard guard(&latch);
+    EXPECT_FALSE(latch.TryLockExclusive());
+  }
+  EXPECT_TRUE(latch.TryLockExclusive());
+  latch.UnlockExclusive();
+}
+
+TEST(SyncTest, NotificationReleasesWaiter) {
+  Notification n;
+  std::thread t([&n] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    n.Notify();
+  });
+  n.Wait();
+  EXPECT_TRUE(n.HasBeenNotified());
+  t.join();
+}
+
+TEST(SyncTest, NotificationTimesOut) {
+  Notification n;
+  EXPECT_FALSE(n.WaitFor(std::chrono::milliseconds(10)));
+}
+
+TEST(SyncTest, CountDownLatch) {
+  CountDownLatch latch(3);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back([&latch] { latch.CountDown(); });
+  }
+  latch.Wait();
+  for (auto& t : threads) t.join();
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Add(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.Min(), 1u);
+  EXPECT_EQ(h.Max(), 100u);
+  EXPECT_NEAR(h.Average(), 50.5, 0.01);
+  EXPECT_GT(h.Percentile(99), h.Percentile(50));
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Add(10);
+  b.Add(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.Min(), 10u);
+  EXPECT_EQ(a.Max(), 1000u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Add(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(RepeatingThreadTest, FiresRepeatedly) {
+  RepeatingThread rt;
+  std::atomic<int> fires{0};
+  rt.Start(std::chrono::milliseconds(5), [&fires] { fires.fetch_add(1); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  rt.Stop();
+  EXPECT_GE(fires.load(), 3);
+}
+
+TEST(RepeatingThreadTest, PokeFiresImmediately) {
+  RepeatingThread rt;
+  std::atomic<int> fires{0};
+  rt.Start(std::chrono::hours(1), [&fires] { fires.fetch_add(1); });
+  rt.Poke();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  rt.Stop();
+  EXPECT_GE(fires.load(), 1);
+}
+
+}  // namespace
+}  // namespace untx

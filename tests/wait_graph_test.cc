@@ -1,0 +1,82 @@
+#include "util/wait_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace untx {
+namespace {
+
+TEST(WaitForGraphTest, NoCycleOnChain) {
+  WaitForGraph g;
+  g.AddEdges(1, {2});
+  g.AddEdges(2, {3});
+  EXPECT_TRUE(g.FindCycleFrom(1).empty());
+  EXPECT_TRUE(g.FindCycleFrom(2).empty());
+}
+
+TEST(WaitForGraphTest, DetectsTwoCycle) {
+  WaitForGraph g;
+  g.AddEdges(1, {2});
+  g.AddEdges(2, {1});
+  auto cycle = g.FindCycleFrom(1);
+  ASSERT_FALSE(cycle.empty());
+  EXPECT_NE(std::find(cycle.begin(), cycle.end(), 1u), cycle.end());
+  EXPECT_NE(std::find(cycle.begin(), cycle.end(), 2u), cycle.end());
+}
+
+TEST(WaitForGraphTest, DetectsLongCycle) {
+  WaitForGraph g;
+  g.AddEdges(1, {2});
+  g.AddEdges(2, {3});
+  g.AddEdges(3, {4});
+  g.AddEdges(4, {1});
+  auto cycle = g.FindCycleFrom(1);
+  EXPECT_EQ(cycle.size(), 4u);
+}
+
+TEST(WaitForGraphTest, SelfEdgesIgnored) {
+  WaitForGraph g;
+  g.AddEdges(1, {1});
+  EXPECT_TRUE(g.FindCycleFrom(1).empty());
+  EXPECT_EQ(g.EdgeCount(), 0u);
+}
+
+TEST(WaitForGraphTest, RemoveWaiterBreaksCycle) {
+  WaitForGraph g;
+  g.AddEdges(1, {2});
+  g.AddEdges(2, {1});
+  g.RemoveWaiter(2);
+  EXPECT_TRUE(g.FindCycleFrom(1).empty());
+}
+
+TEST(WaitForGraphTest, RemoveTxnDropsIncomingEdges) {
+  WaitForGraph g;
+  g.AddEdges(1, {2});
+  g.AddEdges(3, {2});
+  g.RemoveTxn(2);
+  EXPECT_EQ(g.EdgeCount(), 0u);
+}
+
+TEST(WaitForGraphTest, MultipleHoldersOneWaiter) {
+  WaitForGraph g;
+  g.AddEdges(1, {2, 3, 4});
+  EXPECT_EQ(g.EdgeCount(), 3u);
+  g.AddEdges(4, {1});
+  auto cycle = g.FindCycleFrom(1);
+  ASSERT_FALSE(cycle.empty());
+  EXPECT_NE(std::find(cycle.begin(), cycle.end(), 4u), cycle.end());
+}
+
+TEST(WaitForGraphTest, CycleNotReachableFromOutsideNode) {
+  WaitForGraph g;
+  g.AddEdges(2, {3});
+  g.AddEdges(3, {2});
+  // 1 waits on the cycle but is not itself on one.
+  g.AddEdges(1, {2});
+  EXPECT_TRUE(g.FindCycleFrom(1).empty());
+  EXPECT_FALSE(g.FindCycleFrom(2).empty());
+}
+
+}  // namespace
+}  // namespace untx
