@@ -1,0 +1,137 @@
+// Experiment C10 (§4.2.1 / §7): pipelined asynchronous operations with a
+// batched TC→DC wire protocol, against the blocking one-message-per-op
+// API. The §7 unbundling overhead is per-message — a multi-op transaction
+// on the channel transport pays one full round trip per record operation
+// unless the TC pipelines. Measured:
+//
+//   * multi-get (K point reads per txn) and batch-write (K upserts per
+//     txn), blocking vs pipelined, on the direct and channel transports;
+//   * channel request messages per transaction (the lever itself): the
+//     blocking API sends K, the pipelined API coalesces toward 1.
+//
+// The blocking API numbers double as a regression guard: they ride the
+// same submit+await path and must not move.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace untx {
+namespace bench {
+namespace {
+
+constexpr TableId kTable = 10;
+constexpr int kRows = 1024;
+
+std::unique_ptr<UnbundledDb> MakeDb(TransportKind transport) {
+  UnbundledDbOptions options = DefaultDbOptions();
+  options.transport = transport;
+  if (transport == TransportKind::kChannel) {
+    // A small per-message delay models datacenter fabric latency; it is
+    // what makes round trips (not bytes) the dominant cost.
+    options.channel.request_channel.min_delay_us = 20;
+    options.channel.request_channel.max_delay_us = 60;
+    options.channel.reply_channel.min_delay_us = 20;
+    options.channel.reply_channel.max_delay_us = 60;
+  }
+  auto db = std::move(UnbundledDb::Open(options)).ValueOrDie();
+  db->CreateTable(kTable);
+  Load(db.get(), kTable, kRows);
+  return db;
+}
+
+/// arg0: 0 = direct, 1 = channel. arg1: 0 = blocking, 1 = pipelined.
+/// arg2: K ops per transaction.
+void BM_MultiGet(benchmark::State& state) {
+  const TransportKind transport =
+      state.range(0) == 0 ? TransportKind::kDirect : TransportKind::kChannel;
+  const bool pipelined = state.range(1) == 1;
+  const int k = static_cast<int>(state.range(2));
+  auto db = MakeDb(transport);
+
+  const uint64_t msgs_before =
+      db->channel() != nullptr ? db->channel()->request_channel().sent() : 0;
+  int i = 0;
+  uint64_t txns = 0;
+  for (auto _ : state) {
+    Txn txn(db->tc());
+    if (pipelined) {
+      std::vector<std::string> keys;
+      keys.reserve(k);
+      for (int j = 0; j < k; ++j) keys.push_back(Key((i + j * 37) % kRows));
+      std::vector<std::string> values;
+      txn.MultiRead(kTable, keys, &values);
+      benchmark::DoNotOptimize(values);
+    } else {
+      for (int j = 0; j < k; ++j) {
+        std::string value;
+        txn.Read(kTable, Key((i + j * 37) % kRows), &value);
+        benchmark::DoNotOptimize(value);
+      }
+    }
+    txn.Commit();
+    ++i;
+    ++txns;
+  }
+  if (db->channel() != nullptr && txns > 0) {
+    // Request messages per txn: K for blocking, ~1 for pipelined (plus
+    // the control daemon's EOSL/LWM pushes, amortized across txns).
+    state.counters["msgs/txn"] = static_cast<double>(
+        db->channel()->request_channel().sent() - msgs_before) /
+        static_cast<double>(txns);
+  }
+  ReportTcStats(state, *db->tc());
+}
+BENCHMARK(BM_MultiGet)
+    ->Args({0, 0, 16})
+    ->Args({0, 1, 16})
+    ->Args({1, 0, 16})
+    ->Args({1, 1, 16})
+    ->Args({1, 0, 64})
+    ->Args({1, 1, 64})
+    ->UseRealTime();
+
+/// Same grid for writes: K upserts per transaction.
+void BM_BatchWrite(benchmark::State& state) {
+  const TransportKind transport =
+      state.range(0) == 0 ? TransportKind::kDirect : TransportKind::kChannel;
+  const bool pipelined = state.range(1) == 1;
+  const int k = static_cast<int>(state.range(2));
+  auto db = MakeDb(transport);
+
+  const uint64_t msgs_before =
+      db->channel() != nullptr ? db->channel()->request_channel().sent() : 0;
+  int i = 0;
+  uint64_t txns = 0;
+  for (auto _ : state) {
+    Txn txn(db->tc());
+    if (pipelined) {
+      for (int j = 0; j < k; ++j) {
+        txn.UpsertAsync(kTable, Key((i + j * 37) % kRows), "w-pipelined");
+      }
+      txn.Flush();
+    } else {
+      for (int j = 0; j < k; ++j) {
+        txn.Upsert(kTable, Key((i + j * 37) % kRows), "w-blocking");
+      }
+    }
+    txn.Commit();
+    ++i;
+    ++txns;
+  }
+  if (db->channel() != nullptr && txns > 0) {
+    state.counters["msgs/txn"] = static_cast<double>(
+        db->channel()->request_channel().sent() - msgs_before) /
+        static_cast<double>(txns);
+  }
+  ReportTcStats(state, *db->tc());
+}
+BENCHMARK(BM_BatchWrite)
+    ->Args({0, 0, 16})
+    ->Args({0, 1, 16})
+    ->Args({1, 0, 16})
+    ->Args({1, 1, 16})
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace bench
+}  // namespace untx

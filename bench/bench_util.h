@@ -42,5 +42,17 @@ inline void Load(UnbundledDb* db, TableId table, int n,
   }
 }
 
+/// Standard TC counters for bench output: operation traffic, the resend
+/// daemon's work, and how often the DC answered from its idempotence
+/// machinery instead of executing (dup_replies).
+inline void ReportTcStats(benchmark::State& state,
+                          const TransactionComponent& tc) {
+  const TcStats& stats = tc.stats();
+  state.counters["ops_sent"] = static_cast<double>(stats.ops_sent.load());
+  state.counters["resends"] = static_cast<double>(stats.resends.load());
+  state.counters["dup_replies"] =
+      static_cast<double>(stats.dup_replies.load());
+}
+
 }  // namespace bench
 }  // namespace untx

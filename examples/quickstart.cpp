@@ -33,15 +33,30 @@ int main() {
     printf("commit: %s\n", s.ToString().c_str());
   }
 
-  // 4. Serializable read + scan.
+  // 4. Serializable reads + scan. The hot read path uses MultiRead: both
+  //    point reads are submitted at once and travel to the DC as one
+  //    batched message (one round trip instead of one per key on a
+  //    channel deployment).
   {
     Txn txn(db->tc());
-    std::string email;
-    txn.Read(kUsers, "alice", &email);
-    printf("alice -> %s\n", email.c_str());
+    std::vector<std::string> emails;
+    txn.MultiRead(kUsers, {"alice", "bob"}, &emails);
+    printf("alice -> %s, bob -> %s\n", emails[0].c_str(), emails[1].c_str());
     std::vector<std::pair<std::string, std::string>> rows;
     txn.Scan(kUsers, "", "", 0, &rows);
     printf("scan: %zu users\n", rows.size());
+    txn.Commit();
+  }
+
+  // 4b. The same surface, fully pipelined: submit now, await later.
+  {
+    Txn txn(db->tc());
+    OpHandle alice = txn.ReadAsync(kUsers, "alice");
+    OpHandle bob = txn.ReadAsync(kUsers, "bob");
+    std::string a, b;
+    txn.Await(&alice, &a);
+    txn.Await(&bob, &b);
+    printf("async: alice -> %s, bob -> %s\n", a.c_str(), b.c_str());
     txn.Commit();
   }
 

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 verify with warnings on: configure, build, ctest.
+# Usage: scripts/check.sh [extra cmake args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-check}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_CXX_FLAGS="-Wall -Wextra" \
+  "$@"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

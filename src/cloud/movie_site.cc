@@ -187,6 +187,30 @@ Status MovieSite::W4GetUserReviews(
   return owner->Commit(*txn);
 }
 
+Status MovieSite::W5MovieListing(const std::vector<uint32_t>& mids,
+                                 std::vector<std::string>* titles) {
+  titles->assign(mids.size(), "");
+  TransactionComponent* tc = deployment_->tc(0);
+  StatusOr<TxnId> txn = tc->Begin();
+  if (!txn.ok()) return txn.status();
+  // Pipelined multi-get: submit every title read up front, then await.
+  std::vector<OpHandle> handles;
+  handles.reserve(mids.size());
+  for (uint32_t mid : mids) {
+    handles.push_back(tc->SubmitRead(*txn, kMoviesTable, MovieKey(mid)));
+  }
+  Status first;
+  for (size_t i = 0; i < handles.size(); ++i) {
+    Status s = tc->Await(&handles[i], &(*titles)[i]);
+    if (first.ok() && !s.ok()) first = s;
+  }
+  if (!first.ok()) {
+    tc->Abort(*txn);
+    return first;
+  }
+  return tc->Commit(*txn);
+}
+
 Status MovieSite::VerifyConsistency() {
   // Committed Reviews content must equal committed MyReviews content.
   // Reviews is hash-partitioned by MId across DC0/DC1, so a whole-table

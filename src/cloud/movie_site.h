@@ -87,6 +87,13 @@ class MovieSite {
                           std::vector<std::pair<std::string, std::string>>*
                               reviews);
 
+  /// W5: the movie-listing page — titles for a set of movies. The hot
+  /// read path of a browse page: every title is submitted asynchronously
+  /// and the reads coalesce into one batched message per DC partition
+  /// (two round trips for the whole page instead of one per movie).
+  Status W5MovieListing(const std::vector<uint32_t>& mids,
+                        std::vector<std::string>* titles);
+
   /// Cross-checks Reviews against MyReviews (the redundancy invariant).
   Status VerifyConsistency();
 

@@ -817,6 +817,48 @@ bool DataComponent::MergeResetLocked(Frame* frame, TcId tc,
   return true;
 }
 
+std::vector<OperationReply> DataComponent::PerformBatch(
+    const std::vector<OperationRequest>& reqs) {
+  stats_.batches.fetch_add(1);
+  stats_.batched_ops.fetch_add(reqs.size());
+  std::vector<OperationReply> replies(reqs.size());
+  if (crashed_.load()) {
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      replies[i].tc_id = reqs[i].tc_id;
+      replies[i].lsn = reqs[i].lsn;
+      replies[i].status = Status::Crashed("dc is down");
+    }
+    return replies;
+  }
+  std::vector<bool> served(reqs.size(), false);
+  // One reply-cache sweep for the whole batch: a duplicate batch (channel
+  // duplication or a TC resend) is answered wholesale without touching
+  // the tree or re-entering the idempotence machinery per op.
+  {
+    std::lock_guard<std::mutex> guard(reply_mu_);
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      if (!IsWriteOp(reqs[i].op)) continue;
+      auto tc_it = reply_cache_.find(reqs[i].tc_id);
+      if (tc_it == reply_cache_.end()) continue;
+      auto it = tc_it->second.find(reqs[i].lsn);
+      if (it == tc_it->second.end()) continue;
+      replies[i] = it->second;
+      replies[i].was_duplicate = true;
+      served[i] = true;
+    }
+  }
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    if (served[i]) {
+      stats_.ops.fetch_add(1);
+      stats_.writes.fetch_add(1);
+      stats_.reply_cache_hits.fetch_add(1);
+      continue;
+    }
+    replies[i] = Perform(reqs[i]);
+  }
+  return replies;
+}
+
 void DataComponent::CacheReply(const OperationReply& reply) {
   std::lock_guard<std::mutex> guard(reply_mu_);
   reply_cache_[reply.tc_id][reply.lsn] = reply;

@@ -59,6 +59,8 @@ struct DataComponentStats {
   std::atomic<uint64_t> ops{0};
   std::atomic<uint64_t> reads{0};
   std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> batches{0};          ///< PerformBatch calls
+  std::atomic<uint64_t> batched_ops{0};      ///< ops arriving inside batches
   std::atomic<uint64_t> duplicate_hits{0};   ///< idempotence filter hits
   std::atomic<uint64_t> reply_cache_hits{0};
   std::atomic<uint64_t> conflicts_detected{0};
@@ -92,6 +94,13 @@ class DataComponent : public DcService {
   // -- DcService ------------------------------------------------------------
   OperationReply Perform(const OperationRequest& req) override;
   ControlReply Control(const ControlRequest& req) override;
+
+  /// Batched entry point for the kOperationBatch wire message. Sweeps the
+  /// reply cache once (one lock acquisition) for every write in the
+  /// batch — a resent batch is answered wholesale from cached replies —
+  /// then performs the misses in request order.
+  std::vector<OperationReply> PerformBatch(
+      const std::vector<OperationRequest>& reqs) override;
 
   // -- Introspection (tests, benches, wired deployments) ---------------------
   BufferPool* pool() { return pool_.get(); }

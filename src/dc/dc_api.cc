@@ -105,6 +105,42 @@ bool OperationReply::DecodeFrom(Slice* input, OperationReply* out) {
   return true;
 }
 
+void OperationBatch::EncodeTo(std::string* dst) const {
+  PutVarint32(dst, static_cast<uint32_t>(ops.size()));
+  for (const auto& op : ops) op.EncodeTo(dst);
+}
+
+bool OperationBatch::DecodeFrom(Slice* input, OperationBatch* out) {
+  uint32_t n;
+  if (!GetVarint32(input, &n)) return false;
+  out->ops.clear();
+  out->ops.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    OperationRequest op;
+    if (!OperationRequest::DecodeFrom(input, &op)) return false;
+    out->ops.push_back(std::move(op));
+  }
+  return true;
+}
+
+void OperationBatchReply::EncodeTo(std::string* dst) const {
+  PutVarint32(dst, static_cast<uint32_t>(replies.size()));
+  for (const auto& reply : replies) reply.EncodeTo(dst);
+}
+
+bool OperationBatchReply::DecodeFrom(Slice* input, OperationBatchReply* out) {
+  uint32_t n;
+  if (!GetVarint32(input, &n)) return false;
+  out->replies.clear();
+  out->replies.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    OperationReply reply;
+    if (!OperationReply::DecodeFrom(input, &reply)) return false;
+    out->replies.push_back(std::move(reply));
+  }
+  return true;
+}
+
 void ControlRequest::EncodeTo(std::string* dst) const {
   dst->push_back(static_cast<char>(type));
   PutFixed16(dst, tc_id);

@@ -96,12 +96,36 @@ struct ControlReply {
   static bool DecodeFrom(Slice* input, ControlReply* out);
 };
 
+/// Several OperationRequests travelling as ONE channel message. The §4.2
+/// contract is unchanged — each operation keeps its own (tc_id, lsn)
+/// request id and gets its own reply — but a pipelining TC amortizes the
+/// per-message channel cost across the batch (§7: the unbundling overhead
+/// is per-message, so fewer messages is the lever).
+struct OperationBatch {
+  std::vector<OperationRequest> ops;
+
+  void EncodeTo(std::string* dst) const;
+  static bool DecodeFrom(Slice* input, OperationBatch* out);
+};
+
+/// Replies for one OperationBatch, in request order. A crashed DC omits
+/// replies (they die with it), so the vector may be shorter than the
+/// batch that provoked it; correlation stays per-op via (tc_id, lsn).
+struct OperationBatchReply {
+  std::vector<OperationReply> replies;
+
+  void EncodeTo(std::string* dst) const;
+  static bool DecodeFrom(Slice* input, OperationBatchReply* out);
+};
+
 /// Transport envelope: one byte of message kind, then the body.
 enum class MessageKind : uint8_t {
   kOperationRequest = 1,
   kOperationReply = 2,
   kControlRequest = 3,
   kControlReply = 4,
+  kOperationBatch = 5,
+  kOperationBatchReply = 6,
 };
 
 std::string WrapMessage(MessageKind kind, const std::string& body);
@@ -114,6 +138,17 @@ class DcService {
   virtual ~DcService() = default;
   virtual OperationReply Perform(const OperationRequest& req) = 0;
   virtual ControlReply Control(const ControlRequest& req) = 0;
+
+  /// Performs a batch, one reply per request in order. The default just
+  /// loops; DataComponent overrides it to sweep the reply cache once for
+  /// the whole batch before touching the tree.
+  virtual std::vector<OperationReply> PerformBatch(
+      const std::vector<OperationRequest>& reqs) {
+    std::vector<OperationReply> replies;
+    replies.reserve(reqs.size());
+    for (const auto& req : reqs) replies.push_back(Perform(req));
+    return replies;
+  }
 };
 
 }  // namespace untx

@@ -1,5 +1,7 @@
 #include "kernel/channel_transport.h"
 
+#include <chrono>
+
 namespace untx {
 
 ChannelTransport::ChannelTransport(DataComponent* dc,
@@ -18,15 +20,21 @@ void ChannelTransport::Start() {
     servers_.emplace_back([this] { ServerLoop(); });
   }
   dispatcher_ = std::thread([this] { DispatchLoop(); });
+  flusher_ = std::thread([this] { FlushLoop(); });
 }
 
 void ChannelTransport::Stop() {
   stop_.store(true);
+  {
+    std::lock_guard<std::mutex> guard(flush_mu_);
+    flush_cv_.notify_all();
+  }
   for (auto& t : servers_) {
     if (t.joinable()) t.join();
   }
   servers_.clear();
   if (dispatcher_.joinable()) dispatcher_.join();
+  if (flusher_.joinable()) flusher_.join();
 }
 
 void ChannelTransport::OnDcCrash() { request_ch_.Clear(); }
@@ -38,11 +46,78 @@ void ChannelTransport::Client::SendOperation(const OperationRequest& req) {
       WrapMessage(MessageKind::kOperationRequest, body));
 }
 
+void ChannelTransport::Client::SendOperationBatch(
+    const std::vector<OperationRequest>& reqs) {
+  if (reqs.empty()) return;
+  OperationBatch batch;
+  batch.ops = reqs;
+  std::string body;
+  batch.EncodeTo(&body);
+  transport_->request_ch_.Send(
+      WrapMessage(MessageKind::kOperationBatch, body));
+}
+
+void ChannelTransport::Client::QueueOperation(const OperationRequest& req) {
+  std::vector<OperationRequest> full;
+  bool first = false;
+  {
+    std::lock_guard<std::mutex> guard(pending_mu_);
+    pending_.push_back(req);
+    first = pending_.size() == 1;
+    if (pending_.size() >= transport_->options_.max_batch_ops) {
+      full.swap(pending_);
+    }
+  }
+  if (!full.empty()) {
+    SendOperationBatch(full);
+    return;
+  }
+  if (first) {
+    // Arm the window flusher for a queue that just became non-empty.
+    std::lock_guard<std::mutex> guard(transport_->flush_mu_);
+    transport_->flush_cv_.notify_one();
+  }
+}
+
+void ChannelTransport::Client::FlushOperations() {
+  std::vector<OperationRequest> batch;
+  {
+    std::lock_guard<std::mutex> guard(pending_mu_);
+    if (pending_.empty()) return;
+    batch.swap(pending_);
+  }
+  SendOperationBatch(batch);
+}
+
+bool ChannelTransport::Client::HasPending() const {
+  std::lock_guard<std::mutex> guard(pending_mu_);
+  return !pending_.empty();
+}
+
 void ChannelTransport::Client::SendControl(const ControlRequest& req) {
   std::string body;
   req.EncodeTo(&body);
   transport_->request_ch_.Send(
       WrapMessage(MessageKind::kControlRequest, body));
+}
+
+void ChannelTransport::FlushLoop() {
+  // Safety net for queued ops whose caller never awaits: bounds the time
+  // an op can sit in the coalescing buffer. Sleeps until a queue becomes
+  // non-empty, lets the window fill, flushes — zero wakeups when idle.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(flush_mu_);
+      flush_cv_.wait_for(
+          lock, std::chrono::milliseconds(50),
+          [this] { return stop_.load() || client_.HasPending(); });
+    }
+    if (stop_.load()) return;
+    if (!client_.HasPending()) continue;
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.coalesce_window_us));
+    client_.FlushOperations();
+  }
 }
 
 void ChannelTransport::ServerLoop() {
@@ -61,6 +136,21 @@ void ChannelTransport::ServerLoop() {
       std::string out;
       reply.EncodeTo(&out);
       reply_ch_.Send(WrapMessage(MessageKind::kOperationReply, out));
+    } else if (kind == MessageKind::kOperationBatch) {
+      OperationBatch batch;
+      if (!OperationBatch::DecodeFrom(&body, &batch)) continue;
+      std::vector<OperationReply> replies = dc_->PerformBatch(batch.ops);
+      // A crashed DC sends nothing per op; suppress those replies and the
+      // whole message if none survive.
+      OperationBatchReply batch_reply;
+      for (auto& reply : replies) {
+        if (reply.status.IsCrashed()) continue;
+        batch_reply.replies.push_back(std::move(reply));
+      }
+      if (batch_reply.replies.empty()) continue;
+      std::string out;
+      batch_reply.EncodeTo(&out);
+      reply_ch_.Send(WrapMessage(MessageKind::kOperationBatchReply, out));
     } else if (kind == MessageKind::kControlRequest) {
       ControlRequest req;
       if (!ControlRequest::DecodeFrom(&body, &req)) continue;
@@ -84,6 +174,12 @@ void ChannelTransport::DispatchLoop() {
       OperationReply reply;
       if (!OperationReply::DecodeFrom(&body, &reply)) continue;
       if (client_.op_handler()) client_.op_handler()(reply);
+    } else if (kind == MessageKind::kOperationBatchReply) {
+      OperationBatchReply batch;
+      if (!OperationBatchReply::DecodeFrom(&body, &batch)) continue;
+      if (client_.op_handler()) {
+        for (const auto& reply : batch.replies) client_.op_handler()(reply);
+      }
     } else if (kind == MessageKind::kControlReply) {
       ControlReply reply;
       if (!ControlReply::DecodeFrom(&body, &reply)) continue;

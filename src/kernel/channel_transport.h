@@ -5,7 +5,9 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -19,6 +21,12 @@ struct ChannelTransportOptions {
   ChannelOptions request_channel;
   ChannelOptions reply_channel;
   int server_threads = 2;
+  /// Queued (pipelined) operations coalesce into one kOperationBatch
+  /// message; a queue reaching this size flushes immediately.
+  uint32_t max_batch_ops = 64;
+  /// Upper bound on how long a queued op may sit before the background
+  /// flusher pushes it out, for callers that forget an explicit flush.
+  uint32_t coalesce_window_us = 200;
 };
 
 /// Owns the channels and threads binding one TC to one DC.
@@ -45,17 +53,26 @@ class ChannelTransport {
     explicit Client(ChannelTransport* transport) : transport_(transport) {}
     void SendOperation(const OperationRequest& req) override;
     void SendControl(const ControlRequest& req) override;
+    void SendOperationBatch(
+        const std::vector<OperationRequest>& reqs) override;
+    /// Coalesces queued ops bound for this DC into one channel message.
+    void QueueOperation(const OperationRequest& req) override;
+    void FlushOperations() override;
     DcClient::OpReplyHandler op_handler() const { return op_handler_; }
     DcClient::ControlReplyHandler control_handler() const {
       return control_handler_;
     }
+    bool HasPending() const;
 
    private:
     ChannelTransport* transport_;
+    mutable std::mutex pending_mu_;
+    std::vector<OperationRequest> pending_;
   };
 
   void ServerLoop();
   void DispatchLoop();
+  void FlushLoop();
 
   DataComponent* dc_;
   ChannelTransportOptions options_;
@@ -65,6 +82,12 @@ class ChannelTransport {
   std::atomic<bool> stop_{false};
   std::vector<std::thread> servers_;
   std::thread dispatcher_;
+  /// Wakes the flusher when the first op lands in an empty queue; the
+  /// flusher then sleeps one coalescing window and flushes. Idle costs
+  /// nothing.
+  std::mutex flush_mu_;
+  std::condition_variable flush_cv_;
+  std::thread flusher_;
 };
 
 }  // namespace untx

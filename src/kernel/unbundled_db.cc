@@ -52,6 +52,7 @@ UnbundledDb::~UnbundledDb() {
 }
 
 void UnbundledDb::CrashDc(int i) {
+  if (i < 0 || i >= static_cast<int>(dcs_.size())) return;
   dcs_[i]->Crash();
   if (!channel_transports_.empty()) {
     channel_transports_[i]->OnDcCrash();
@@ -59,6 +60,9 @@ void UnbundledDb::CrashDc(int i) {
 }
 
 Status UnbundledDb::RecoverDc(int i) {
+  if (i < 0 || i >= static_cast<int>(dcs_.size())) {
+    return Status::InvalidArgument("no such dc");
+  }
   dcs_[i]->Restore();
   // Phase 1: DC-local recovery makes the structures well-formed (§5.2.2).
   Status s = dcs_[i]->Recover();

@@ -43,8 +43,25 @@ class UnbundledDb {
   ~UnbundledDb();
 
   TransactionComponent* tc() { return tc_.get(); }
-  DataComponent* dc(int i = 0) { return dcs_[i].get(); }
-  StableStore* store(int i = 0) { return stores_[i].get(); }
+  /// nullptr for an out-of-range index.
+  DataComponent* dc(int i = 0) {
+    if (i < 0 || i >= static_cast<int>(dcs_.size())) return nullptr;
+    return dcs_[i].get();
+  }
+  /// nullptr for an out-of-range index.
+  StableStore* store(int i = 0) {
+    if (i < 0 || i >= static_cast<int>(stores_.size())) return nullptr;
+    return stores_[i].get();
+  }
+  /// The channel binding for DC i; nullptr on the direct transport or for
+  /// an out-of-range index. Exposes channel stats (messages sent, drops)
+  /// to benches and tests.
+  ChannelTransport* channel(int i = 0) {
+    if (i < 0 || i >= static_cast<int>(channel_transports_.size())) {
+      return nullptr;
+    }
+    return channel_transports_[i].get();
+  }
   int num_dcs() const { return static_cast<int>(dcs_.size()); }
 
   // -- Convenience transaction API ---------------------------------------------
@@ -121,9 +138,61 @@ class Txn {
     return tc_->Scan(id_, table, from, to, limit, out);
   }
 
+  // -- Pipelined asynchronous surface -----------------------------------------
+  // Submit without waiting; ops bound for the same DC coalesce into one
+  // channel message. Await one handle, or Flush() the whole pipeline.
+  // Commit/Abort flush implicitly.
+  OpHandle ReadAsync(TableId table, const std::string& key) {
+    return tc_->SubmitRead(id_, table, key);
+  }
+  OpHandle InsertAsync(TableId table, const std::string& key,
+                       const std::string& value) {
+    return tc_->SubmitInsert(id_, table, key, value);
+  }
+  OpHandle UpdateAsync(TableId table, const std::string& key,
+                       const std::string& value) {
+    return tc_->SubmitUpdate(id_, table, key, value);
+  }
+  OpHandle DeleteAsync(TableId table, const std::string& key) {
+    return tc_->SubmitDelete(id_, table, key);
+  }
+  OpHandle UpsertAsync(TableId table, const std::string& key,
+                       const std::string& value) {
+    return tc_->SubmitUpsert(id_, table, key, value);
+  }
+  Status Await(OpHandle* handle, std::string* value = nullptr) {
+    return tc_->Await(handle, value);
+  }
+  /// Drains every submitted-but-unawaited op of this transaction.
+  Status Flush() { return tc_->AwaitAll(id_); }
+
+  /// Pipelined multi-point-read: submits every key, then awaits them all
+  /// — one batched round trip per DC instead of one per key. `values` is
+  /// key-aligned; a missing key leaves its slot empty and NotFound is
+  /// returned (after all keys were awaited).
+  Status MultiRead(TableId table, const std::vector<std::string>& keys,
+                   std::vector<std::string>* values) {
+    values->assign(keys.size(), "");
+    std::vector<OpHandle> handles;
+    handles.reserve(keys.size());
+    for (const auto& key : keys) {
+      handles.push_back(tc_->SubmitRead(id_, table, key));
+    }
+    Status first;
+    for (size_t i = 0; i < handles.size(); ++i) {
+      Status s = tc_->Await(&handles[i], &(*values)[i]);
+      if (first.ok() && !s.ok()) first = s;
+    }
+    return first;
+  }
+
   Status Commit() {
-    finished_ = true;
-    return tc_->Commit(id_);
+    Status s = tc_->Commit(id_);
+    // A failed commit (e.g. a pipelined op's error surfacing at the
+    // drain) leaves the transaction open — keep the RAII abort armed so
+    // its locks are released on scope exit.
+    if (s.ok() || s.IsNotFound()) finished_ = true;
+    return s;
   }
   Status Abort() {
     finished_ = true;

@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <utility>
+#include <vector>
 
 #include "dc/dc_api.h"
 
@@ -25,6 +26,21 @@ class DcClient {
   /// (possibly on the calling thread for direct clients).
   virtual void SendOperation(const OperationRequest& req) = 0;
   virtual void SendControl(const ControlRequest& req) = 0;
+
+  /// Sends several operations as ONE message where the transport supports
+  /// it. Default: degrade to per-op sends.
+  virtual void SendOperationBatch(const std::vector<OperationRequest>& reqs) {
+    for (const auto& req : reqs) SendOperation(req);
+  }
+
+  /// Pipelining surface. QueueOperation enqueues an op for coalesced
+  /// delivery; FlushOperations pushes everything queued onto the wire as
+  /// one batch. A transport with no per-message cost (direct call path)
+  /// dispatches inline and flush is a no-op.
+  virtual void QueueOperation(const OperationRequest& req) {
+    SendOperation(req);
+  }
+  virtual void FlushOperations() {}
 
   void set_op_reply_handler(OpReplyHandler h) { op_handler_ = std::move(h); }
   void set_control_reply_handler(ControlReplyHandler h) {
@@ -46,6 +62,14 @@ class DirectDcClient : public DcClient {
     OperationReply reply = dc_->Perform(req);
     // A crashed DC produced no reply; the resend daemon will retry.
     if (!reply.status.IsCrashed() && op_handler_) op_handler_(reply);
+  }
+
+  void SendOperationBatch(
+      const std::vector<OperationRequest>& reqs) override {
+    std::vector<OperationReply> replies = dc_->PerformBatch(reqs);
+    for (const auto& reply : replies) {
+      if (!reply.status.IsCrashed() && op_handler_) op_handler_(reply);
+    }
   }
 
   void SendControl(const ControlRequest& req) override {

@@ -5,7 +5,21 @@
 #include <set>
 #include <thread>
 
+#include "common/coding.h"
+
 namespace untx {
+
+namespace {
+
+/// Conflict-gate key for in-flight pipelined operations.
+std::string InflightKey(TableId table, const std::string& key) {
+  std::string out;
+  PutFixed32(&out, table);
+  out += key;
+  return out;
+}
+
+}  // namespace
 
 // ---- RangePartitionConfig ----------------------------------------------------
 
@@ -100,6 +114,10 @@ DcClient* TransactionComponent::ClientFor(DcId dc) const {
 
 void TransactionComponent::OnOperationReply(const OperationReply& reply) {
   if (crashed_.load()) return;
+  // Count idempotence hits up front: a was_duplicate reply usually races
+  // a non-duplicate one for the same LSN and loses the outstanding-op
+  // lookup below — it must still be visible in the stats.
+  if (reply.was_duplicate) stats_.dup_replies.fetch_add(1);
   std::shared_ptr<OutstandingOp> op;
   {
     std::lock_guard<std::mutex> guard(out_mu_);
@@ -111,6 +129,14 @@ void TransactionComponent::OnOperationReply(const OperationReply& reply) {
     op->completed = true;
     op->reply = reply;
     outstanding_.erase(it);
+    // Release the per-key conflict gate for pipelined successors.
+    auto key_it = inflight_keys_.find(
+        InflightKey(op->request.table_id, op->request.key));
+    if (key_it != inflight_keys_.end()) {
+      auto& ops = key_it->second;
+      ops.erase(std::remove(ops.begin(), ops.end(), op), ops.end());
+      if (ops.empty()) inflight_keys_.erase(key_it);
+    }
   }
   if (op->needs_seal) {
     TcLogRecord rec;
@@ -221,10 +247,46 @@ void TransactionComponent::PushControls() {
 
 // ---- Operation execution -------------------------------------------------------
 
-StatusOr<OperationReply> TransactionComponent::ExecuteOp(
-    OperationRequest req, TxnId txn, TcLogRecordType record_type,
-    Lsn undo_target) {
-  if (crashed_.load()) return Status::Crashed("tc is down");
+bool TransactionComponent::WaitForConflicts(const OperationRequest& req) {
+  // The §1.2 obligation: never two conflicting operations in flight. The
+  // lock manager already serializes conflicts ACROSS transactions; within
+  // one transaction, pipelined submits against the same key must drain
+  // their predecessors (a write waits for everything on the key, a read
+  // waits for in-flight writes) so the channel cannot reorder them.
+  const bool is_write = IsWriteOp(req.op);
+  const std::string gate = InflightKey(req.table_id, req.key);
+  for (;;) {
+    std::shared_ptr<OutstandingOp> predecessor;
+    {
+      std::lock_guard<std::mutex> guard(out_mu_);
+      auto it = inflight_keys_.find(gate);
+      if (it != inflight_keys_.end()) {
+        for (const auto& op : it->second) {
+          if (op->completed) continue;
+          if (is_write || IsWriteOp(op->request.op)) {
+            predecessor = op;
+            break;
+          }
+        }
+      }
+    }
+    if (!predecessor) return true;
+    // The predecessor may still sit in a coalescing queue: flush, then
+    // wait for its reply (the resend daemon guarantees progress).
+    ClientFor(predecessor->dc)->FlushOperations();
+    if (!predecessor->done.WaitFor(
+            std::chrono::milliseconds(options_.op_timeout_ms))) {
+      return false;  // the predecessor is stuck (e.g. its DC is down)
+    }
+  }
+}
+
+std::shared_ptr<TransactionComponent::OutstandingOp>
+TransactionComponent::SubmitOp(OperationRequest req, TxnId txn,
+                               TcLogRecordType record_type, Lsn undo_target,
+                               bool pipelined) {
+  if (crashed_.load()) return nullptr;
+  if (pipelined && !WaitForConflicts(req)) return nullptr;
 
   auto op = std::make_shared<OutstandingOp>();
   const uint64_t index = log_.Reserve();
@@ -235,20 +297,101 @@ StatusOr<OperationReply> TransactionComponent::ExecuteOp(
   op->txn = txn;
   op->record_type = record_type;
   op->undo_target = undo_target;
+  op->pipelined = pipelined;
   op->dc = Route(req.table_id, req.key);
   {
     std::lock_guard<std::mutex> guard(out_mu_);
     outstanding_[req.lsn] = op;
+    op->last_send = std::chrono::steady_clock::now();
+    if (pipelined) {
+      inflight_keys_[InflightKey(req.table_id, req.key)].push_back(op);
+    }
+  }
+  if (pipelined && txn != kInvalidTxnId &&
+      record_type == TcLogRecordType::kOperation) {
+    std::lock_guard<std::mutex> guard(txn_mu_);
+    auto it = txns_.find(txn);
+    if (it != txns_.end()) it->second.pending_ops.push_back(op);
   }
   stats_.ops_sent.fetch_add(1);
-  SendToDc(op, /*is_resend=*/false);
+  if (pipelined) {
+    ClientFor(op->dc)->QueueOperation(op->request);
+  } else {
+    ClientFor(op->dc)->SendOperation(op->request);
+  }
+  return op;
+}
 
+StatusOr<OperationReply> TransactionComponent::AwaitOp(
+    const std::shared_ptr<OutstandingOp>& op) {
+  if (op->pipelined && !op->completed) {
+    ClientFor(op->dc)->FlushOperations();
+  }
   if (!op->done.WaitFor(std::chrono::milliseconds(options_.op_timeout_ms))) {
     // The op stays outstanding; the resend daemon keeps trying (a down DC
     // blocks its updaters, §6.2.2). The caller sees a timeout.
     return Status::TimedOut("operation not acknowledged in time");
   }
   return op->reply;
+}
+
+void TransactionComponent::HarvestReply(
+    const std::shared_ptr<OutstandingOp>& op) {
+  // Read `completed` under out_mu_: the await may have TIMED OUT with
+  // the reply handler mid-assignment of op->reply. Observing completed
+  // under the same lock that published it guarantees the reply is whole.
+  {
+    std::lock_guard<std::mutex> guard(out_mu_);
+    if (!op->completed) return;
+  }
+  std::lock_guard<std::mutex> guard(txn_mu_);
+  if (op->harvested) return;
+  op->harvested = true;
+  auto it = txns_.find(op->txn);
+  if (it == txns_.end()) return;
+  auto& pending = it->second.pending_ops;
+  pending.erase(std::remove(pending.begin(), pending.end(), op),
+                pending.end());
+  const OperationReply& reply = op->reply;
+  if (!reply.status.ok() || !IsWriteOp(op->request.op) ||
+      op->record_type != TcLogRecordType::kOperation) {
+    return;
+  }
+  const TableId table = op->request.table_id;
+  const std::string& key = op->request.key;
+  switch (op->request.op) {
+    case OpType::kInsert:
+      it->second.undo_chain.push_back(
+          UndoEntry{reply.lsn, OpType::kInsert, table, key, "", false});
+      break;
+    case OpType::kUpdate:
+      it->second.undo_chain.push_back(
+          UndoEntry{reply.lsn, OpType::kUpdate, table, key, reply.value,
+                    true});
+      break;
+    case OpType::kDelete:
+      it->second.undo_chain.push_back(
+          UndoEntry{reply.lsn, OpType::kDelete, table, key, reply.value,
+                    true});
+      break;
+    case OpType::kUpsert:
+      it->second.undo_chain.push_back(
+          UndoEntry{reply.lsn, OpType::kUpsert, table, key, reply.value,
+                    reply.has_before});
+      break;
+    default:
+      return;  // version/DDL ops carry no logical undo
+  }
+  it->second.written_keys.emplace_back(table, key);
+}
+
+StatusOr<OperationReply> TransactionComponent::ExecuteOp(
+    OperationRequest req, TxnId txn, TcLogRecordType record_type,
+    Lsn undo_target) {
+  auto op = SubmitOp(std::move(req), txn, record_type, undo_target,
+                     /*pipelined=*/false);
+  if (!op) return Status::Crashed("tc is down");
+  return AwaitOp(op);
 }
 
 // ---- Locking helpers -----------------------------------------------------------
@@ -298,6 +441,148 @@ Status TransactionComponent::LockForRead(TxnId txn, TableId table,
   return locks_->Lock(txn, RecordLockName(table, key), LockMode::kShared);
 }
 
+// ---- Pipelined asynchronous surface ---------------------------------------------
+
+TransactionComponent::OpHandle TransactionComponent::SubmitLocked(
+    TxnId txn, OperationRequest req) {
+  OpHandle handle;
+  handle.op_ = SubmitOp(std::move(req), txn, TcLogRecordType::kOperation,
+                        kInvalidLsn, /*pipelined=*/true);
+  if (!handle.op_) {
+    handle.submit_status_ =
+        crashed_.load()
+            ? Status::Crashed("tc is down")
+            : Status::TimedOut("conflicting in-flight op never completed");
+  }
+  return handle;
+}
+
+TransactionComponent::OpHandle TransactionComponent::SubmitRead(
+    TxnId txn, TableId table, const std::string& key) {
+  OpHandle handle;
+  Status s = LockForRead(txn, table, key);
+  if (!s.ok()) {
+    if (s.IsDeadlock()) stats_.deadlocks.fetch_add(1);
+    handle.submit_status_ = s;
+    return handle;
+  }
+  OperationRequest req;
+  req.op = OpType::kRead;
+  req.table_id = table;
+  req.key = key;
+  req.read_flavor = ReadFlavor::kOwn;
+  return SubmitLocked(txn, std::move(req));
+}
+
+TransactionComponent::OpHandle TransactionComponent::SubmitInsert(
+    TxnId txn, TableId table, const std::string& key,
+    const std::string& value) {
+  OpHandle handle;
+  Status s = LockForWrite(txn, table, key, /*is_insert=*/true);
+  if (!s.ok()) {
+    if (s.IsDeadlock()) stats_.deadlocks.fetch_add(1);
+    handle.submit_status_ = s;
+    return handle;
+  }
+  OperationRequest req;
+  req.op = OpType::kInsert;
+  req.table_id = table;
+  req.key = key;
+  req.value = value;
+  req.versioned = options_.versioning;
+  return SubmitLocked(txn, std::move(req));
+}
+
+TransactionComponent::OpHandle TransactionComponent::SubmitUpdate(
+    TxnId txn, TableId table, const std::string& key,
+    const std::string& value) {
+  OpHandle handle;
+  Status s = LockForWrite(txn, table, key, /*is_insert=*/false);
+  if (!s.ok()) {
+    if (s.IsDeadlock()) stats_.deadlocks.fetch_add(1);
+    handle.submit_status_ = s;
+    return handle;
+  }
+  OperationRequest req;
+  req.op = OpType::kUpdate;
+  req.table_id = table;
+  req.key = key;
+  req.value = value;
+  req.versioned = options_.versioning;
+  return SubmitLocked(txn, std::move(req));
+}
+
+TransactionComponent::OpHandle TransactionComponent::SubmitDelete(
+    TxnId txn, TableId table, const std::string& key) {
+  OpHandle handle;
+  Status s = LockForWrite(txn, table, key, /*is_insert=*/false);
+  if (!s.ok()) {
+    if (s.IsDeadlock()) stats_.deadlocks.fetch_add(1);
+    handle.submit_status_ = s;
+    return handle;
+  }
+  OperationRequest req;
+  req.op = OpType::kDelete;
+  req.table_id = table;
+  req.key = key;
+  req.versioned = options_.versioning;
+  return SubmitLocked(txn, std::move(req));
+}
+
+TransactionComponent::OpHandle TransactionComponent::SubmitUpsert(
+    TxnId txn, TableId table, const std::string& key,
+    const std::string& value) {
+  OpHandle handle;
+  Status s = LockForWrite(txn, table, key, /*is_insert=*/true);
+  if (!s.ok()) {
+    if (s.IsDeadlock()) stats_.deadlocks.fetch_add(1);
+    handle.submit_status_ = s;
+    return handle;
+  }
+  OperationRequest req;
+  req.op = OpType::kUpsert;
+  req.table_id = table;
+  req.key = key;
+  req.value = value;
+  req.versioned = options_.versioning;
+  return SubmitLocked(txn, std::move(req));
+}
+
+Status TransactionComponent::Await(OpHandle* handle, std::string* value) {
+  if (handle == nullptr) return Status::InvalidArgument("null handle");
+  if (!handle->submit_status_.ok()) return handle->submit_status_;
+  if (!handle->op_) return Status::InvalidArgument("empty handle");
+  StatusOr<OperationReply> reply = AwaitOp(handle->op_);
+  if (!reply.ok()) return reply.status();
+  HarvestReply(handle->op_);
+  if (reply->status.ok() && value != nullptr &&
+      handle->op_->request.op == OpType::kRead) {
+    *value = reply->value;
+  }
+  return reply->status;
+}
+
+Status TransactionComponent::AwaitAll(TxnId txn) {
+  std::vector<std::shared_ptr<OutstandingOp>> pending;
+  {
+    std::lock_guard<std::mutex> guard(txn_mu_);
+    auto it = txns_.find(txn);
+    if (it == txns_.end()) return Status::OK();  // nothing pending
+    pending = it->second.pending_ops;
+  }
+  if (pending.empty()) return Status::OK();
+  // One flush per DC pushes every coalesced batch onto the wire at once.
+  for (const auto& binding : dcs_) binding.client->FlushOperations();
+  Status first;
+  for (const auto& op : pending) {
+    StatusOr<OperationReply> reply = AwaitOp(op);
+    HarvestReply(op);
+    const Status s = reply.ok() ? reply->status : reply.status();
+    if (first.ok() && !s.ok()) first = s;
+  }
+  return first;
+}
+
 // ---- Transaction API ------------------------------------------------------------
 
 StatusOr<TxnId> TransactionComponent::Begin() {
@@ -306,7 +591,7 @@ StatusOr<TxnId> TransactionComponent::Begin() {
   {
     std::lock_guard<std::mutex> guard(txn_mu_);
     id = next_txn_++;
-    txns_[id] = TxnState{id, {}, {}};
+    txns_[id] = TxnState{id, {}, {}, {}};
   }
   TcLogRecord rec;
   rec.type = TcLogRecordType::kBegin;
@@ -318,143 +603,41 @@ StatusOr<TxnId> TransactionComponent::Begin() {
   return id;
 }
 
+// The blocking API is the async surface awaited immediately: one submit,
+// one await, identical per-op behavior — and one code path to maintain.
+
 Status TransactionComponent::Read(TxnId txn, TableId table,
                                   const std::string& key,
                                   std::string* value) {
-  Status s = LockForRead(txn, table, key);
-  if (!s.ok()) {
-    if (s.IsDeadlock()) stats_.deadlocks.fetch_add(1);
-    return s;
-  }
-  OperationRequest req;
-  req.op = OpType::kRead;
-  req.table_id = table;
-  req.key = key;
-  req.read_flavor = ReadFlavor::kOwn;
-  StatusOr<OperationReply> reply = ExecuteOp(req, txn);
-  if (!reply.ok()) return reply.status();
-  if (reply->status.ok()) *value = reply->value;
-  return reply->status;
+  OpHandle handle = SubmitRead(txn, table, key);
+  return Await(&handle, value);
 }
-
-namespace {
-struct WriteSpec {
-  OpType op;
-  const std::string* value;
-};
-}  // namespace
 
 Status TransactionComponent::Insert(TxnId txn, TableId table,
                                     const std::string& key,
                                     const std::string& value) {
-  Status s = LockForWrite(txn, table, key, /*is_insert=*/true);
-  if (!s.ok()) {
-    if (s.IsDeadlock()) stats_.deadlocks.fetch_add(1);
-    return s;
-  }
-  OperationRequest req;
-  req.op = OpType::kInsert;
-  req.table_id = table;
-  req.key = key;
-  req.value = value;
-  req.versioned = options_.versioning;
-  StatusOr<OperationReply> reply = ExecuteOp(req, txn);
-  if (!reply.ok()) return reply.status();
-  if (reply->status.ok()) {
-    std::lock_guard<std::mutex> guard(txn_mu_);
-    auto it = txns_.find(txn);
-    if (it != txns_.end()) {
-      it->second.undo_chain.push_back(UndoEntry{
-          reply->lsn, OpType::kInsert, table, key, "", false});
-      it->second.written_keys.emplace_back(table, key);
-    }
-  }
-  return reply->status;
+  OpHandle handle = SubmitInsert(txn, table, key, value);
+  return Await(&handle);
 }
 
 Status TransactionComponent::Update(TxnId txn, TableId table,
                                     const std::string& key,
                                     const std::string& value) {
-  Status s = LockForWrite(txn, table, key, /*is_insert=*/false);
-  if (!s.ok()) {
-    if (s.IsDeadlock()) stats_.deadlocks.fetch_add(1);
-    return s;
-  }
-  OperationRequest req;
-  req.op = OpType::kUpdate;
-  req.table_id = table;
-  req.key = key;
-  req.value = value;
-  req.versioned = options_.versioning;
-  StatusOr<OperationReply> reply = ExecuteOp(req, txn);
-  if (!reply.ok()) return reply.status();
-  if (reply->status.ok()) {
-    std::lock_guard<std::mutex> guard(txn_mu_);
-    auto it = txns_.find(txn);
-    if (it != txns_.end()) {
-      it->second.undo_chain.push_back(UndoEntry{reply->lsn, OpType::kUpdate,
-                                                table, key, reply->value,
-                                                true});
-      it->second.written_keys.emplace_back(table, key);
-    }
-  }
-  return reply->status;
+  OpHandle handle = SubmitUpdate(txn, table, key, value);
+  return Await(&handle);
 }
 
 Status TransactionComponent::Delete(TxnId txn, TableId table,
                                     const std::string& key) {
-  Status s = LockForWrite(txn, table, key, /*is_insert=*/false);
-  if (!s.ok()) {
-    if (s.IsDeadlock()) stats_.deadlocks.fetch_add(1);
-    return s;
-  }
-  OperationRequest req;
-  req.op = OpType::kDelete;
-  req.table_id = table;
-  req.key = key;
-  req.versioned = options_.versioning;
-  StatusOr<OperationReply> reply = ExecuteOp(req, txn);
-  if (!reply.ok()) return reply.status();
-  if (reply->status.ok()) {
-    std::lock_guard<std::mutex> guard(txn_mu_);
-    auto it = txns_.find(txn);
-    if (it != txns_.end()) {
-      it->second.undo_chain.push_back(UndoEntry{reply->lsn, OpType::kDelete,
-                                                table, key, reply->value,
-                                                true});
-      it->second.written_keys.emplace_back(table, key);
-    }
-  }
-  return reply->status;
+  OpHandle handle = SubmitDelete(txn, table, key);
+  return Await(&handle);
 }
 
 Status TransactionComponent::Upsert(TxnId txn, TableId table,
                                     const std::string& key,
                                     const std::string& value) {
-  Status s = LockForWrite(txn, table, key, /*is_insert=*/true);
-  if (!s.ok()) {
-    if (s.IsDeadlock()) stats_.deadlocks.fetch_add(1);
-    return s;
-  }
-  OperationRequest req;
-  req.op = OpType::kUpsert;
-  req.table_id = table;
-  req.key = key;
-  req.value = value;
-  req.versioned = options_.versioning;
-  StatusOr<OperationReply> reply = ExecuteOp(req, txn);
-  if (!reply.ok()) return reply.status();
-  if (reply->status.ok()) {
-    std::lock_guard<std::mutex> guard(txn_mu_);
-    auto it = txns_.find(txn);
-    if (it != txns_.end()) {
-      it->second.undo_chain.push_back(
-          UndoEntry{reply->lsn, OpType::kUpsert, table, key, reply->value,
-                    reply->has_before});
-      it->second.written_keys.emplace_back(table, key);
-    }
-  }
-  return reply->status;
+  OpHandle handle = SubmitUpsert(txn, table, key, value);
+  return Await(&handle);
 }
 
 Status TransactionComponent::Scan(
@@ -462,6 +645,12 @@ Status TransactionComponent::Scan(
     uint32_t limit,
     std::vector<std::pair<std::string, std::string>>* out) {
   out->clear();
+  // Pipelined writes still in flight could race the probe/read windows;
+  // drain the transaction's pipeline before scanning. A drained op's
+  // failure must not be swallowed here — this is the first await point,
+  // so surface it exactly as Commit would.
+  Status drain = AwaitAll(txn);
+  if (!drain.ok()) return drain;
 
   if (options_.range_protocol == RangeLockProtocol::kPartition) {
     // §3.1 "Range locks": lock every overlapping partition, then read.
@@ -675,6 +864,13 @@ Status TransactionComponent::ScanShared(
 // ---- Commit / Abort -------------------------------------------------------------
 
 Status TransactionComponent::Commit(TxnId txn) {
+  // Drain the pipeline first: every submitted op must have reported back
+  // (and fed the undo chain) before the commit record is cut. A pipelined
+  // op that failed surfaces here and blocks the commit — the transaction
+  // stays open for the caller to abort.
+  Status drain = AwaitAll(txn);
+  if (!drain.ok()) return drain;
+
   TxnState state;
   {
     std::lock_guard<std::mutex> guard(txn_mu_);
@@ -741,7 +937,13 @@ Status TransactionComponent::FinishVersionedCommit(
 
 Status TransactionComponent::UndoTxnLocked(TxnState* state) {
   // Submit inverse logical operations in reverse chronological order
-  // (§4.1.1(2b)), logging each as a CLR.
+  // (§4.1.1(2b)), logging each as a CLR. Individually-awaited pipelined
+  // ops may have been harvested out of submission order; LSN order is the
+  // chronology that matters.
+  std::stable_sort(state->undo_chain.begin(), state->undo_chain.end(),
+                   [](const UndoEntry& a, const UndoEntry& b) {
+                     return a.lsn < b.lsn;
+                   });
   for (auto it = state->undo_chain.rbegin(); it != state->undo_chain.rend();
        ++it) {
     OperationRequest inverse;
@@ -783,6 +985,10 @@ Status TransactionComponent::UndoTxnLocked(TxnState* state) {
 }
 
 Status TransactionComponent::Abort(TxnId txn) {
+  // Drain the pipeline so every applied write is in the undo chain; the
+  // ops' logical statuses don't matter (we are rolling back anyway).
+  AwaitAll(txn);
+
   TxnState state;
   {
     std::lock_guard<std::mutex> guard(txn_mu_);
@@ -871,6 +1077,7 @@ void TransactionComponent::Crash() {
   {
     std::lock_guard<std::mutex> guard(out_mu_);
     orphans.swap(outstanding_);
+    inflight_keys_.clear();
   }
   for (auto& [lsn, op] : orphans) {
     op->completed = true;
@@ -912,7 +1119,7 @@ Status TransactionComponent::Analyze(AnalysisResult* out) {
         if (rec.rssp > out->rssp) out->rssp = rec.rssp;
         break;
       case TcLogRecordType::kBegin:
-        out->losers[rec.txn] = TxnState{rec.txn, {}, {}};
+        out->losers[rec.txn] = TxnState{rec.txn, {}, {}, {}};
         break;
       case TcLogRecordType::kOperation: {
         auto it = out->losers.find(rec.txn);

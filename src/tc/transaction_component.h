@@ -101,6 +101,9 @@ struct TcStats {
   std::atomic<uint64_t> recoveries{0};
   std::atomic<uint64_t> checkpoints{0};
   std::atomic<uint64_t> probes{0};
+  /// Replies the DC answered from its idempotence machinery instead of
+  /// executing (OperationReply::was_duplicate) — resend/duplication cost.
+  std::atomic<uint64_t> dup_replies{0};
 };
 
 struct DcBinding {
@@ -112,7 +115,27 @@ struct DcBinding {
 using Router = std::function<DcId(TableId, const std::string&)>;
 
 class TransactionComponent {
+ private:
+  struct OutstandingOp;  // defined below; OpHandle needs the declaration
+
  public:
+  /// Handle to one submitted (pipelined) operation. Obtained from the
+  /// Submit* family, consumed by Await / AwaitAll. Copyable; awaiting the
+  /// same operation twice is harmless (the result is harvested once).
+  class OpHandle {
+   public:
+    OpHandle() = default;
+    /// True if the operation made it onto the wire (an LSN was assigned).
+    /// False handles carry the submit-time failure (e.g. a lock denial),
+    /// which Await returns.
+    bool submitted() const { return op_ != nullptr; }
+
+   private:
+    friend class TransactionComponent;
+    std::shared_ptr<OutstandingOp> op_;
+    Status submit_status_;
+  };
+
   TransactionComponent(TcOptions options, std::vector<DcBinding> dcs,
                        Router router = nullptr);
   ~TransactionComponent();
@@ -139,6 +162,36 @@ class TransactionComponent {
   Status Scan(TxnId txn, TableId table, const std::string& from,
               const std::string& to, uint32_t limit,
               std::vector<std::pair<std::string, std::string>>* out);
+
+  // -- Pipelined asynchronous surface (§4.2.1: "in a cloud environment
+  // asynchronous messages might be used") ------------------------------------
+  //
+  // Submit* acquires locks, reserves the LSN, registers the outstanding
+  // op and fires it without waiting for the DC. Queued ops bound for the
+  // same DC coalesce into one batched channel message (explicit flush on
+  // Await, plus the transport's small coalescing window). Await blocks on
+  // one handle; AwaitAll drains every pending op of a transaction.
+  // Commit/Abort/Scan AwaitAll internally, so a submit with no explicit
+  // await is still accounted for. Within a transaction, ops against the
+  // same key stay ordered (a conflicting submit awaits its predecessor —
+  // the §1.2 obligation that no two conflicting operations are in flight).
+  OpHandle SubmitRead(TxnId txn, TableId table, const std::string& key);
+  OpHandle SubmitInsert(TxnId txn, TableId table, const std::string& key,
+                        const std::string& value);
+  OpHandle SubmitUpdate(TxnId txn, TableId table, const std::string& key,
+                        const std::string& value);
+  OpHandle SubmitDelete(TxnId txn, TableId table, const std::string& key);
+  OpHandle SubmitUpsert(TxnId txn, TableId table, const std::string& key,
+                        const std::string& value);
+
+  /// Waits for one submitted operation and returns its logical status.
+  /// For reads, `value` (if non-null) receives the record value on OK.
+  Status Await(OpHandle* handle, std::string* value = nullptr);
+
+  /// Flushes every coalescing client and waits for all pending operations
+  /// of `txn`, in submission (LSN) order. Returns the first non-OK
+  /// operation status; OK for a transaction with nothing pending.
+  Status AwaitAll(TxnId txn);
 
   /// DDL; idempotent. `routing_key` selects which DC hosts the table's
   /// partition (a table spanning DCs is created once per DC with a key
@@ -202,6 +255,10 @@ class TransactionComponent {
     bool completed = false;
     /// False for recovery resends: the log record already exists.
     bool needs_seal = true;
+    /// Dispatched through the coalescing queue (Await must flush).
+    bool pipelined = false;
+    /// Undo info already folded into the txn state (exactly once).
+    bool harvested = false;
     std::chrono::steady_clock::time_point last_send;
   };
 
@@ -218,17 +275,41 @@ class TransactionComponent {
     TxnId id;
     std::vector<UndoEntry> undo_chain;
     std::vector<std::pair<TableId, std::string>> written_keys;
+    /// Submitted-not-yet-harvested ops, in submission (LSN) order.
+    std::vector<std::shared_ptr<OutstandingOp>> pending_ops;
   };
 
   DcId Route(TableId table, const std::string& key) const;
   DcClient* ClientFor(DcId dc) const;
 
-  /// Reserves an LSN, registers, sends, waits for the reply. Locks must
-  /// already be held for conflicting operations.
+  /// Reserves an LSN, registers the outstanding op and fires it (through
+  /// the coalescing queue when pipelined). Locks must already be held for
+  /// conflicting operations. Returns nullptr if the TC is crashed.
+  std::shared_ptr<OutstandingOp> SubmitOp(OperationRequest req, TxnId txn,
+                                          TcLogRecordType record_type,
+                                          Lsn undo_target, bool pipelined);
+
+  /// Flushes (for pipelined ops) and waits for the reply.
+  StatusOr<OperationReply> AwaitOp(const std::shared_ptr<OutstandingOp>& op);
+
+  /// Folds a completed write reply into the transaction state (undo
+  /// chain + written keys), exactly once, and drops the op from the
+  /// txn's pending list.
+  void HarvestReply(const std::shared_ptr<OutstandingOp>& op);
+
+  /// A conflicting pipelined submit must wait for in-flight ops on the
+  /// same key before dispatch (the §1.2 contract). False if a predecessor
+  /// never completed within the op timeout.
+  bool WaitForConflicts(const OperationRequest& req);
+
+  /// Submit + await: the blocking call path.
   StatusOr<OperationReply> ExecuteOp(
       OperationRequest req, TxnId txn,
       TcLogRecordType record_type = TcLogRecordType::kOperation,
       Lsn undo_target = kInvalidLsn);
+
+  /// Shared submit path of the public Submit* family.
+  OpHandle SubmitLocked(TxnId txn, OperationRequest req);
 
   void OnOperationReply(const OperationReply& reply);
   void OnControlReply(const ControlReply& reply);
@@ -279,6 +360,9 @@ class TransactionComponent {
   std::mutex out_mu_;
   std::map<Lsn, std::shared_ptr<OutstandingOp>> outstanding_;
   std::map<DcId, bool> dc_recovering_;
+  /// (table|key) -> in-flight ops touching it; pipelined conflict gate.
+  std::unordered_map<std::string, std::vector<std::shared_ptr<OutstandingOp>>>
+      inflight_keys_;
 
   std::mutex control_mu_;
   uint64_t next_control_seq_ = 1;
@@ -297,5 +381,9 @@ class TransactionComponent {
 
   TcStats stats_;
 };
+
+/// The async surface's handle type, hoisted for callers (Txn helpers,
+/// application code) that pipeline without naming the component type.
+using OpHandle = TransactionComponent::OpHandle;
 
 }  // namespace untx

@@ -1,0 +1,274 @@
+// The pipelined asynchronous operation API: Submit*/Await/AwaitAll on the
+// TC, the Txn helper's *Async/MultiRead/Flush surface, ordering of
+// same-key pipelined ops, rollback of unawaited writes, and the
+// UnbundledDb accessor bounds checks.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "kernel/unbundled_db.h"
+
+namespace untx {
+namespace {
+
+constexpr TableId kTable = 1;
+
+std::unique_ptr<UnbundledDb> MakeDb(TransportKind transport,
+                                    int num_dcs = 1) {
+  UnbundledDbOptions options;
+  options.num_dcs = num_dcs;
+  options.transport = transport;
+  options.tc.control_interval_ms = 5;
+  options.tc.resend_interval_ms = 40;
+  auto db = std::move(UnbundledDb::Open(options)).ValueOrDie();
+  return db;
+}
+
+class AsyncApiTest : public ::testing::TestWithParam<TransportKind> {};
+
+TEST_P(AsyncApiTest, PipelinedWritesThenMultiRead) {
+  auto db = MakeDb(GetParam());
+  ASSERT_TRUE(db->CreateTable(kTable).ok());
+  {
+    Txn txn(db->tc());
+    for (int i = 0; i < 32; ++i) {
+      txn.InsertAsync(kTable, "k" + std::to_string(i),
+                      "v" + std::to_string(i));
+    }
+    ASSERT_TRUE(txn.Flush().ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  {
+    Txn txn(db->tc());
+    std::vector<std::string> keys;
+    for (int i = 0; i < 32; ++i) keys.push_back("k" + std::to_string(i));
+    std::vector<std::string> values;
+    ASSERT_TRUE(txn.MultiRead(kTable, keys, &values).ok());
+    ASSERT_EQ(values.size(), 32u);
+    for (int i = 0; i < 32; ++i) {
+      EXPECT_EQ(values[i], "v" + std::to_string(i));
+    }
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+}
+
+TEST_P(AsyncApiTest, AwaitOutOfOrderAndTwice) {
+  auto db = MakeDb(GetParam());
+  ASSERT_TRUE(db->CreateTable(kTable).ok());
+  {
+    Txn txn(db->tc());
+    ASSERT_TRUE(txn.Insert(kTable, "a", "va").ok());
+    ASSERT_TRUE(txn.Insert(kTable, "b", "vb").ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  Txn txn(db->tc());
+  OpHandle ha = txn.ReadAsync(kTable, "a");
+  OpHandle hb = txn.ReadAsync(kTable, "b");
+  std::string vb, va;
+  EXPECT_TRUE(txn.Await(&hb, &vb).ok());
+  EXPECT_TRUE(txn.Await(&ha, &va).ok());
+  EXPECT_EQ(va, "va");
+  EXPECT_EQ(vb, "vb");
+  // Awaiting the same handle again is harmless.
+  std::string again;
+  EXPECT_TRUE(txn.Await(&ha, &again).ok());
+  EXPECT_EQ(again, "va");
+  EXPECT_TRUE(txn.Commit().ok());
+}
+
+/// Same-key pipelined ops must apply in submission order even on a
+/// reordering channel — the conflict gate serializes them.
+TEST_P(AsyncApiTest, SameKeyPipelineStaysOrdered) {
+  auto db = MakeDb(GetParam());
+  ASSERT_TRUE(db->CreateTable(kTable).ok());
+  Txn txn(db->tc());
+  ASSERT_TRUE(txn.Insert(kTable, "counter", "v0").ok());
+  for (int i = 1; i <= 5; ++i) {
+    txn.UpdateAsync(kTable, "counter", "v" + std::to_string(i));
+  }
+  OpHandle read = txn.ReadAsync(kTable, "counter");
+  std::string value;
+  ASSERT_TRUE(txn.Await(&read, &value).ok());
+  EXPECT_EQ(value, "v5");
+  ASSERT_TRUE(txn.Flush().ok());
+  ASSERT_TRUE(txn.Commit().ok());
+}
+
+/// Unawaited pipelined writes are still rolled back on abort: the
+/// drain-at-abort harvests their undo images.
+TEST_P(AsyncApiTest, AbortRollsBackUnawaitedWrites) {
+  auto db = MakeDb(GetParam());
+  ASSERT_TRUE(db->CreateTable(kTable).ok());
+  {
+    Txn txn(db->tc());
+    ASSERT_TRUE(txn.Insert(kTable, "keep", "original").ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  {
+    Txn txn(db->tc());
+    txn.UpdateAsync(kTable, "keep", "doomed");
+    txn.InsertAsync(kTable, "ghost", "doomed");
+    ASSERT_TRUE(txn.Abort().ok());  // no explicit Flush/Await
+  }
+  Txn txn(db->tc());
+  std::string value;
+  ASSERT_TRUE(txn.Read(kTable, "keep", &value).ok());
+  EXPECT_EQ(value, "original");
+  EXPECT_TRUE(txn.Read(kTable, "ghost", &value).IsNotFound());
+  txn.Commit();
+}
+
+/// A failed pipelined op that was never awaited surfaces at Commit and
+/// blocks it; the transaction stays open and can be aborted.
+TEST_P(AsyncApiTest, CommitSurfacesUnawaitedFailure) {
+  auto db = MakeDb(GetParam());
+  ASSERT_TRUE(db->CreateTable(kTable).ok());
+  {
+    Txn txn(db->tc());
+    ASSERT_TRUE(txn.Insert(kTable, "taken", "v").ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  TransactionComponent* tc = db->tc();
+  TxnId txn = *tc->Begin();
+  tc->SubmitInsert(txn, kTable, "taken", "dup");  // will fail AlreadyExists
+  EXPECT_TRUE(tc->Commit(txn).IsAlreadyExists());
+  EXPECT_TRUE(tc->Abort(txn).ok());
+}
+
+/// A commit blocked by a pipelined failure leaves the transaction open;
+/// the Txn RAII helper must still abort it on scope exit so its locks
+/// are released (regression: finished_ was set before Commit ran).
+TEST_P(AsyncApiTest, FailedCommitStillReleasesLocksViaRaii) {
+  auto db = MakeDb(GetParam());
+  ASSERT_TRUE(db->CreateTable(kTable).ok());
+  {
+    Txn txn(db->tc());
+    ASSERT_TRUE(txn.Insert(kTable, "taken", "v").ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  {
+    Txn txn(db->tc());
+    txn.InsertAsync(kTable, "taken", "dup");  // fails at the DC
+    EXPECT_TRUE(txn.Commit().IsAlreadyExists());
+  }  // scope exit must abort and release the X lock on "taken"
+  Txn txn(db->tc());
+  ASSERT_TRUE(txn.Update(kTable, "taken", "v2").ok());  // hangs if leaked
+  ASSERT_TRUE(txn.Commit().ok());
+}
+
+/// Scan is an await point: a failed pipelined op surfaces there instead
+/// of being silently harvested (regression: Scan dropped the status).
+TEST_P(AsyncApiTest, ScanSurfacesPipelinedFailure) {
+  auto db = MakeDb(GetParam());
+  ASSERT_TRUE(db->CreateTable(kTable).ok());
+  {
+    Txn txn(db->tc());
+    ASSERT_TRUE(txn.Insert(kTable, "taken", "v").ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  Txn txn(db->tc());
+  txn.InsertAsync(kTable, "taken", "dup");
+  std::vector<std::pair<std::string, std::string>> rows;
+  EXPECT_TRUE(txn.Scan(kTable, "", "", 0, &rows).IsAlreadyExists());
+  ASSERT_TRUE(txn.Abort().ok());
+}
+
+TEST_P(AsyncApiTest, MultiReadReportsMissingKey) {
+  auto db = MakeDb(GetParam());
+  ASSERT_TRUE(db->CreateTable(kTable).ok());
+  {
+    Txn txn(db->tc());
+    ASSERT_TRUE(txn.Insert(kTable, "present", "here").ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  Txn txn(db->tc());
+  std::vector<std::string> values;
+  Status s = txn.MultiRead(kTable, {"present", "absent"}, &values);
+  EXPECT_TRUE(s.IsNotFound());
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0], "here");
+  EXPECT_TRUE(values[1].empty());
+  txn.Commit();
+}
+
+TEST_P(AsyncApiTest, SubmitAfterCrashFailsCleanly) {
+  auto db = MakeDb(GetParam());
+  ASSERT_TRUE(db->CreateTable(kTable).ok());
+  TransactionComponent* tc = db->tc();
+  TxnId txn = *tc->Begin();
+  db->CrashTc();
+  OpHandle handle = tc->SubmitRead(txn, kTable, "any");
+  EXPECT_FALSE(handle.submitted());
+  std::string value;
+  EXPECT_TRUE(tc->Await(&handle, &value).IsCrashed());
+  ASSERT_TRUE(db->RestartTc().ok());
+}
+
+TEST_P(AsyncApiTest, PipelineSpansDcs) {
+  auto db = MakeDb(GetParam(), /*num_dcs=*/2);
+  TransactionComponent* tc = db->tc();
+  // Default router: table % num_dcs — use two tables on two DCs.
+  ASSERT_TRUE(tc->CreateTable(2).ok());
+  ASSERT_TRUE(tc->CreateTable(3).ok());
+  Txn txn(db->tc());
+  for (int i = 0; i < 8; ++i) {
+    txn.InsertAsync(2, "k" + std::to_string(i), "dc0");
+    txn.InsertAsync(3, "k" + std::to_string(i), "dc1");
+  }
+  ASSERT_TRUE(txn.Flush().ok());
+  ASSERT_TRUE(txn.Commit().ok());
+  Txn check(db->tc());
+  std::string value;
+  ASSERT_TRUE(check.Read(2, "k7", &value).ok());
+  EXPECT_EQ(value, "dc0");
+  ASSERT_TRUE(check.Read(3, "k7", &value).ok());
+  EXPECT_EQ(value, "dc1");
+  check.Commit();
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, AsyncApiTest,
+                         ::testing::Values(TransportKind::kDirect,
+                                           TransportKind::kChannel),
+                         [](const ::testing::TestParamInfo<TransportKind>&
+                                info) {
+                           return info.param == TransportKind::kDirect
+                                      ? "Direct"
+                                      : "Channel";
+                         });
+
+TEST(UnbundledDbBoundsTest, AccessorsRejectBadIndices) {
+  UnbundledDbOptions options;
+  options.num_dcs = 2;
+  auto db = std::move(UnbundledDb::Open(options)).ValueOrDie();
+  EXPECT_NE(db->dc(0), nullptr);
+  EXPECT_NE(db->dc(1), nullptr);
+  EXPECT_EQ(db->dc(2), nullptr);
+  EXPECT_EQ(db->dc(-1), nullptr);
+  EXPECT_NE(db->store(1), nullptr);
+  EXPECT_EQ(db->store(2), nullptr);
+  EXPECT_EQ(db->store(-1), nullptr);
+  EXPECT_EQ(db->channel(0), nullptr);  // direct transport: no channels
+  EXPECT_TRUE(db->RecoverDc(7).IsInvalidArgument());
+  db->CrashDc(7);  // out of range: no-op, no crash
+}
+
+TEST(UnbundledDbBoundsTest, OpenRejectsZeroDcs) {
+  UnbundledDbOptions options;
+  options.num_dcs = 0;
+  auto db = UnbundledDb::Open(options);
+  EXPECT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsInvalidArgument());
+}
+
+TEST(UnbundledDbBoundsTest, ChannelAccessorBounds) {
+  UnbundledDbOptions options;
+  options.transport = TransportKind::kChannel;
+  auto db = std::move(UnbundledDb::Open(options)).ValueOrDie();
+  EXPECT_NE(db->channel(0), nullptr);
+  EXPECT_EQ(db->channel(1), nullptr);
+  EXPECT_EQ(db->channel(-1), nullptr);
+}
+
+}  // namespace
+}  // namespace untx

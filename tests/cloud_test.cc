@@ -43,6 +43,16 @@ TEST(MovieSiteTest, SetupAndAllWorkloads) {
   std::vector<std::pair<std::string, std::string>> mine;
   ASSERT_TRUE(site->W4GetUserReviews(5, &mine).ok());
   EXPECT_EQ(mine.size(), 3u);
+  // W5: the movie-listing page — pipelined multi-get of titles spanning
+  // both movie partitions (DC0 and DC1).
+  std::vector<uint32_t> page;
+  for (uint32_t mid = 0; mid < config.num_movies; ++mid) page.push_back(mid);
+  std::vector<std::string> titles;
+  ASSERT_TRUE(site->W5MovieListing(page, &titles).ok());
+  ASSERT_EQ(titles.size(), page.size());
+  for (uint32_t mid = 0; mid < config.num_movies; ++mid) {
+    EXPECT_EQ(titles[mid], "title-" + std::to_string(mid));
+  }
   // The redundant MyReviews copy agrees with Reviews.
   ASSERT_TRUE(site->VerifyConsistency().ok());
 }

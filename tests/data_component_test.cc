@@ -298,35 +298,35 @@ TEST_F(DataComponentTest, OutOfOrderLsnsBothApply) {
 
 TEST_F(DataComponentTest, ConflictSentinelDetectsTcBug) {
   // Two different LSNs for the same key sent concurrently is a TC
-  // contract violation; the sentinel must catch at least some.
+  // contract violation; the sentinel must catch at least some. The
+  // overlap is scheduler-dependent: gate both threads on a start barrier
+  // and retry the burst until a conflict is observed (bounded rounds).
   ASSERT_TRUE(tc_->Op(OpType::kInsert, "hot", "v").status.ok());
   std::atomic<int> conflicts{0};
-  std::thread t1([&] {
-    for (int i = 0; i < 5000; ++i) {
-      OperationRequest req;
-      req.tc_id = 1;
-      req.lsn = 10000 + i;
-      req.op = OpType::kUpdate;
-      req.table_id = kTable;
-      req.key = "hot";
-      req.value = "a";
-      if (dc_->Perform(req).status.IsConflict()) conflicts.fetch_add(1);
-    }
-  });
-  std::thread t2([&] {
-    for (int i = 0; i < 5000; ++i) {
-      OperationRequest req;
-      req.tc_id = 1;
-      req.lsn = 20000 + i;
-      req.op = OpType::kUpdate;
-      req.table_id = kTable;
-      req.key = "hot";
-      req.value = "b";
-      if (dc_->Perform(req).status.IsConflict()) conflicts.fetch_add(1);
-    }
-  });
-  t1.join();
-  t2.join();
+  for (int round = 0; round < 50 && conflicts.load() == 0 &&
+                      dc_->stats().conflicts_detected.load() == 0;
+       ++round) {
+    std::atomic<bool> go{false};
+    auto burst = [&](Lsn base) {
+      while (!go.load()) {
+      }
+      for (int i = 0; i < 5000; ++i) {
+        OperationRequest req;
+        req.tc_id = 1;
+        req.lsn = base + static_cast<Lsn>(round) * 5000 + i;
+        req.op = OpType::kUpdate;
+        req.table_id = kTable;
+        req.key = "hot";
+        req.value = base < 1000000 ? "a" : "b";
+        if (dc_->Perform(req).status.IsConflict()) conflicts.fetch_add(1);
+      }
+    };
+    std::thread t1(burst, Lsn{100000});
+    std::thread t2(burst, Lsn{2000000});
+    go.store(true);
+    t1.join();
+    t2.join();
+  }
   EXPECT_GT(conflicts.load() +
                 static_cast<int>(dc_->stats().conflicts_detected.load()),
             0);
