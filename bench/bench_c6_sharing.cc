@@ -15,7 +15,7 @@
 #include <atomic>
 #include <thread>
 
-#include "cloud/deployment.h"
+#include "kernel/cluster.h"
 
 namespace untx {
 namespace bench {
@@ -29,26 +29,26 @@ std::string Key(int i) {
   return buf;
 }
 
-std::unique_ptr<cloud::Deployment> MakeDeployment(bool versioning) {
-  cloud::DeploymentOptions options;
+std::unique_ptr<Cluster> MakeCluster(bool versioning) {
+  ClusterOptions options;
   options.num_dcs = 1;
   for (int t = 0; t < 2; ++t) {
-    cloud::TcSpec spec;
+    TcSpec spec;
     spec.options.tc_id = static_cast<TcId>(t + 1);
     spec.options.versioning = versioning;
     spec.options.control_interval_ms = 10;
     spec.options.insert_phantom_protection = false;
     options.tcs.push_back(spec);
   }
-  auto deployment = std::move(cloud::Deployment::Open(options)).ValueOrDie();
-  deployment->tc(0)->CreateTable(kTable);
+  auto cluster = std::move(Cluster::Open(options)).ValueOrDie();
+  cluster->tc(0)->CreateTable(kTable);
   // TC1 owns all keys; TC2 is the reader.
   for (int i = 0; i < 1000; ++i) {
-    auto txn = deployment->tc(0)->Begin();
-    deployment->tc(0)->Insert(*txn, kTable, Key(i), "v0");
-    deployment->tc(0)->Commit(*txn);
+    auto txn = cluster->tc(0)->Begin();
+    cluster->tc(0)->Insert(*txn, kTable, Key(i), "v0");
+    cluster->tc(0)->Commit(*txn);
   }
-  return deployment;
+  return cluster;
 }
 
 // arg0: 0 = dirty reader, 1 = read-committed reader (versioned data).
@@ -56,7 +56,7 @@ std::unique_ptr<cloud::Deployment> MakeDeployment(bool versioning) {
 void BM_CrossTcRead(benchmark::State& state) {
   const bool read_committed = state.range(0) == 1;
   const bool writer_active = state.range(1) == 1;
-  auto deployment = MakeDeployment(/*versioning=*/read_committed);
+  auto cluster = MakeCluster(/*versioning=*/read_committed);
 
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> writes{0};
@@ -65,9 +65,9 @@ void BM_CrossTcRead(benchmark::State& state) {
     writer = std::thread([&] {
       int i = 0;
       while (!stop.load()) {
-        auto txn = deployment->tc(0)->Begin();
-        deployment->tc(0)->Update(*txn, kTable, Key(i++ % 1000), "w");
-        deployment->tc(0)->Commit(*txn);
+        auto txn = cluster->tc(0)->Begin();
+        cluster->tc(0)->Update(*txn, kTable, Key(i++ % 1000), "w");
+        cluster->tc(0)->Commit(*txn);
         writes.fetch_add(1);
       }
     });
@@ -78,7 +78,7 @@ void BM_CrossTcRead(benchmark::State& state) {
   int i = 0;
   for (auto _ : state) {
     std::string value;
-    deployment->tc(1)->ReadShared(kTable, Key(i++ % 1000), flavor, &value);
+    cluster->tc(1)->ReadShared(kTable, Key(i++ % 1000), flavor, &value);
     benchmark::DoNotOptimize(value);
   }
   stop.store(true);
@@ -95,12 +95,12 @@ BENCHMARK(BM_CrossTcRead)
 // Writer cost of versioning: update + commit-time promote per key.
 void BM_WriterVersioningCost(benchmark::State& state) {
   const bool versioning = state.range(0) == 1;
-  auto deployment = MakeDeployment(versioning);
+  auto cluster = MakeCluster(versioning);
   int i = 0;
   for (auto _ : state) {
-    auto txn = deployment->tc(0)->Begin();
-    deployment->tc(0)->Update(*txn, kTable, Key(i++ % 1000), "w");
-    deployment->tc(0)->Commit(*txn);
+    auto txn = cluster->tc(0)->Begin();
+    cluster->tc(0)->Update(*txn, kTable, Key(i++ % 1000), "w");
+    cluster->tc(0)->Commit(*txn);
   }
 }
 BENCHMARK(BM_WriterVersioningCost)->Arg(0)->Arg(1);
@@ -109,19 +109,19 @@ BENCHMARK(BM_WriterVersioningCost)->Arg(0)->Arg(1);
 // transaction on the very keys being read. With versioned read
 // committed the reader proceeds at full speed (no lock interaction).
 void BM_ReaderAgainstOpenTransaction(benchmark::State& state) {
-  auto deployment = MakeDeployment(/*versioning=*/true);
-  auto txn = deployment->tc(0)->Begin();
+  auto cluster = MakeCluster(/*versioning=*/true);
+  auto txn = cluster->tc(0)->Begin();
   for (int i = 0; i < 100; ++i) {
-    deployment->tc(0)->Update(*txn, kTable, Key(i), "uncommitted");
+    cluster->tc(0)->Update(*txn, kTable, Key(i), "uncommitted");
   }
   int i = 0;
   for (auto _ : state) {
     std::string value;
-    deployment->tc(1)->ReadShared(kTable, Key(i++ % 100),
+    cluster->tc(1)->ReadShared(kTable, Key(i++ % 100),
                                   ReadFlavor::kReadCommitted, &value);
     benchmark::DoNotOptimize(value);
   }
-  deployment->tc(0)->Abort(*txn);
+  cluster->tc(0)->Abort(*txn);
 }
 BENCHMARK(BM_ReaderAgainstOpenTransaction);
 

@@ -1,7 +1,10 @@
-// Experiment F2 (Figure 2, §6.3): the movie review site — W1..W4 on the
-// partitioned 2-TC / 3-DC deployment. The claims under test: every
-// workload touches at most two machines, updates need no distributed
-// transactions, and the read path never blocks.
+// Experiment F2 (Figure 2, §6.3): the movie review site — W1..W5 on the
+// partitioned 2-TC / 3-DC topology running CLOUD-STYLE: every TC↔DC
+// binding is an asynchronous message channel with the batched wire
+// protocol. The claims under test: every workload touches at most two
+// machines, updates need no distributed transactions, the read path
+// never blocks, and pipelined pages coalesce on the wire (msgs/txn well
+// below ops/txn).
 #include <benchmark/benchmark.h>
 
 #include "cloud/movie_site.h"
@@ -16,6 +19,7 @@ MovieSite* GetSite() {
     config.num_users = 200;
     config.num_movies = 50;
     config.versioning = true;
+    config.transport = TransportKind::kChannel;
     auto s = std::move(MovieSite::Open(config)).ValueOrDie();
     s->Setup();
     // Seed reviews so W1/W4 have data.
@@ -26,6 +30,32 @@ MovieSite* GetSite() {
   }();
   return site.get();
 }
+
+/// Tracks the cluster-wide wire cost of the benchmark loop: operation
+/// messages and the operations they carried, per iteration.
+class WireCounters {
+ public:
+  explicit WireCounters(Cluster* cluster)
+      : cluster_(cluster),
+        msgs_before_(cluster->TotalOpMessages()),
+        ops_before_(cluster->TotalOpsCarried()) {}
+
+  void Report(benchmark::State& state) const {
+    const double iters = static_cast<double>(
+        state.iterations() == 0 ? 1 : state.iterations());
+    state.counters["msgs/txn"] =
+        static_cast<double>(cluster_->TotalOpMessages() - msgs_before_) /
+        iters;
+    state.counters["ops/txn"] =
+        static_cast<double>(cluster_->TotalOpsCarried() - ops_before_) /
+        iters;
+  }
+
+ private:
+  Cluster* cluster_;
+  uint64_t msgs_before_;
+  uint64_t ops_before_;
+};
 
 void BM_W1_GetMovieReviews(benchmark::State& state) {
   MovieSite* site = GetSite();
@@ -44,6 +74,7 @@ BENCHMARK(BM_W1_GetMovieReviews);
 
 void BM_W2_AddReview(benchmark::State& state) {
   MovieSite* site = GetSite();
+  WireCounters wire(site->cluster());
   uint32_t i = 1000;  // fresh (uid, mid) pairs via upsert
   for (auto _ : state) {
     const uint32_t uid = i % site->config().num_users;
@@ -53,6 +84,7 @@ void BM_W2_AddReview(benchmark::State& state) {
   }
   // One transaction, two DCs, zero coordination messages between TCs.
   state.counters["dcs_touched"] = 2;
+  wire.Report(state);
 }
 BENCHMARK(BM_W2_AddReview);
 
@@ -80,6 +112,29 @@ void BM_W4_GetUserReviews(benchmark::State& state) {
 }
 BENCHMARK(BM_W4_GetUserReviews);
 
+// W5: the movie-listing page — a pipelined multi-get spanning both movie
+// partitions. The headline number is msgs/txn vs ops/txn: a 16-title
+// page costs 16 read ops but only ~2 batched request messages.
+void BM_W5_MovieListing(benchmark::State& state) {
+  MovieSite* site = GetSite();
+  const uint32_t page_size =
+      static_cast<uint32_t>(state.range(0));
+  WireCounters wire(site->cluster());
+  uint32_t start = 0;
+  for (auto _ : state) {
+    std::vector<uint32_t> page;
+    for (uint32_t j = 0; j < page_size; ++j) {
+      page.push_back((start + j) % site->config().num_movies);
+    }
+    std::vector<std::string> titles;
+    site->W5MovieListing(page, &titles);
+    benchmark::DoNotOptimize(titles);
+    ++start;
+  }
+  wire.Report(state);
+}
+BENCHMARK(BM_W5_MovieListing)->Arg(4)->Arg(16);
+
 // W1 while a writer holds an open transaction on the same movie: the
 // read-committed reader must not block (§6.2.2 "Readers are never
 // blocked").
@@ -96,6 +151,31 @@ void BM_W1_UnderOpenWriter(benchmark::State& state) {
   owner->Abort(*txn);
 }
 BENCHMARK(BM_W1_UnderOpenWriter);
+
+// The multi-TC fault story over the wire: crash + restart one TC, crash
+// + recover the shared user DC (both TCs redo-resend in batches), then
+// verify the Reviews/MyReviews redundancy invariant.
+void BM_FaultRecoveryCycle(benchmark::State& state) {
+  MovieSite* site = GetSite();
+  for (auto _ : state) {
+    Status s = site->cluster()->CrashAndRestartTc(0);
+    if (s.ok()) s = site->cluster()->CrashAndRecoverDc(2);
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(site);
+  }
+  const TcStats& tc1 = site->cluster()->tc(0)->stats();
+  const TcStats& tc2 = site->cluster()->tc(1)->stats();
+  state.counters["redo_ops"] = static_cast<double>(
+      tc1.recovery_resent_ops.load() + tc2.recovery_resent_ops.load());
+  state.counters["redo_msgs"] = static_cast<double>(
+      tc1.recovery_resend_msgs.load() + tc2.recovery_resend_msgs.load());
+  Status s = site->VerifyConsistency();
+  if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+}
+BENCHMARK(BM_FaultRecoveryCycle)->Iterations(2);
 
 }  // namespace
 }  // namespace cloud

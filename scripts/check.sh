@@ -1,13 +1,26 @@
 #!/usr/bin/env bash
 # Tier-1 verify with warnings on: configure, build, ctest.
-# Usage: scripts/check.sh [extra cmake args...]
+# Usage: scripts/check.sh [--asan] [extra cmake args...]
+#   --asan  build and test under ASan+UBSan (its own build dir), so the
+#           concurrent multi-TC / channel paths are sanitizer-checked.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${BUILD_DIR:-build-check}"
+CXX_FLAGS="-Wall -Wextra"
+LINK_FLAGS=""
+if [[ "${1:-}" == "--asan" ]]; then
+  shift
+  BUILD_DIR="${BUILD_DIR:-build-asan}"
+  SAN="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  CXX_FLAGS="$CXX_FLAGS $SAN"
+  LINK_FLAGS="$SAN"
+else
+  BUILD_DIR="${BUILD_DIR:-build-check}"
+fi
 
 cmake -B "$BUILD_DIR" -S . \
-  -DCMAKE_CXX_FLAGS="-Wall -Wextra" \
+  -DCMAKE_CXX_FLAGS="$CXX_FLAGS" \
+  -DCMAKE_EXE_LINKER_FLAGS="$LINK_FLAGS" \
   "$@"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -57,9 +57,11 @@ DcId MovieSiteRouter(TableId table, const std::string& key) {
 
 StatusOr<std::unique_ptr<MovieSite>> MovieSite::Open(MovieSiteConfig config) {
   auto site = std::unique_ptr<MovieSite>(new MovieSite(config));
-  DeploymentOptions options;
+  ClusterOptions options;
   options.num_dcs = 3;
   options.default_router = MovieSiteRouter;
+  options.transport = config.transport;
+  options.channel = config.channel;
   for (int t = 0; t < 2; ++t) {
     TcSpec spec;
     spec.options.tc_id = static_cast<TcId>(t + 1);
@@ -68,14 +70,14 @@ StatusOr<std::unique_ptr<MovieSite>> MovieSite::Open(MovieSiteConfig config) {
     spec.options.resend_interval_ms = 50;
     options.tcs.push_back(spec);
   }
-  auto deployment = Deployment::Open(options);
-  if (!deployment.ok()) return deployment.status();
-  site->deployment_ = std::move(deployment).ValueOrDie();
+  auto cluster = Cluster::Open(std::move(options));
+  if (!cluster.ok()) return cluster.status();
+  site->cluster_ = std::move(cluster).ValueOrDie();
   return site;
 }
 
 Status MovieSite::Setup() {
-  TransactionComponent* tc1 = deployment_->tc(0);
+  TransactionComponent* tc1 = cluster_->tc(0);
   // Partitioned tables exist on every DC that holds a slice: create with
   // a routing hint per partition.
   for (uint32_t part = 0; part < 2; ++part) {
@@ -131,7 +133,7 @@ Status MovieSite::W1GetMovieReviews(
                                 : ReadFlavor::kDirty;
   const std::string from = ReviewKey(mid, 0);
   const std::string to = ReviewKey(mid + 1, 0);
-  return deployment_->tc(0)->ScanShared(kReviewsTable, from, to, 0, flavor,
+  return cluster_->tc(0)->ScanShared(kReviewsTable, from, to, 0, flavor,
                                         reviews);
 }
 
@@ -190,7 +192,7 @@ Status MovieSite::W4GetUserReviews(
 Status MovieSite::W5MovieListing(const std::vector<uint32_t>& mids,
                                  std::vector<std::string>* titles) {
   titles->assign(mids.size(), "");
-  TransactionComponent* tc = deployment_->tc(0);
+  TransactionComponent* tc = cluster_->tc(0);
   StatusOr<TxnId> txn = tc->Begin();
   if (!txn.ok()) return txn.status();
   // Pipelined multi-get: submit every title read up front, then await.
@@ -222,7 +224,7 @@ Status MovieSite::VerifyConsistency() {
                                 : ReadFlavor::kDirty;
   for (uint32_t mid = 0; mid < config_.num_movies; ++mid) {
     std::vector<std::pair<std::string, std::string>> reviews;
-    Status s = deployment_->tc(0)->ScanShared(
+    Status s = cluster_->tc(0)->ScanShared(
         kReviewsTable, ReviewKey(mid, 0), ReviewKey(mid + 1, 0), 0, flavor,
         &reviews);
     if (!s.ok()) return s;
@@ -235,7 +237,7 @@ Status MovieSite::VerifyConsistency() {
     }
   }
   std::vector<std::pair<std::string, std::string>> mine;
-  Status s = deployment_->tc(0)->ScanShared(kMyReviewsTable, "", "", 0,
+  Status s = cluster_->tc(0)->ScanShared(kMyReviewsTable, "", "", 0,
                                             flavor, &mine);
   if (!s.ok()) return s;
   if (mine.size() != by_pair.size()) {

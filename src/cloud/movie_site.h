@@ -29,8 +29,8 @@
 #include <string>
 #include <vector>
 
-#include "cloud/deployment.h"
 #include "common/status.h"
+#include "kernel/cluster.h"
 
 namespace untx {
 namespace cloud {
@@ -51,11 +51,15 @@ struct MovieSiteConfig {
   /// Versioned writes => TC3 can use read committed; otherwise TC3 falls
   /// back to dirty reads (§6.2.1).
   bool versioning = true;
+  /// Direct = multi-core wiring; channel = the paper's cloud deployment
+  /// (per-(TC, DC) message channels with batch coalescing).
+  TransportKind transport = TransportKind::kDirect;
+  ChannelTransportOptions channel;
 };
 
-/// Builds the Figure 2 deployment: TC1/TC2 updaters + 3 DCs. TC3 is
-/// realized as lock-free shared reads issued through TC1's client stack
-/// (read flavors need no locks and no transaction, §6.2).
+/// Builds the Figure 2 topology on Cluster: TC1/TC2 updaters + 3 DCs.
+/// TC3 is realized as lock-free shared reads issued through TC1's client
+/// stack (read flavors need no locks and no transaction, §6.2).
 class MovieSite {
  public:
   static StatusOr<std::unique_ptr<MovieSite>> Open(MovieSiteConfig config);
@@ -65,7 +69,7 @@ class MovieSite {
 
   /// Owner TC for a user.
   TransactionComponent* OwnerTc(uint32_t uid) {
-    return deployment_->tc(uid % 2);
+    return cluster_->tc(static_cast<int>(uid % 2));
   }
 
   // -- The four workloads -------------------------------------------------------
@@ -97,14 +101,14 @@ class MovieSite {
   /// Cross-checks Reviews against MyReviews (the redundancy invariant).
   Status VerifyConsistency();
 
-  Deployment* deployment() { return deployment_.get(); }
+  Cluster* cluster() { return cluster_.get(); }
   const MovieSiteConfig& config() const { return config_; }
 
  private:
   explicit MovieSite(MovieSiteConfig config) : config_(config) {}
 
   MovieSiteConfig config_;
-  std::unique_ptr<Deployment> deployment_;
+  std::unique_ptr<Cluster> cluster_;
 };
 
 }  // namespace cloud

@@ -42,6 +42,8 @@ void ChannelTransport::OnDcCrash() { request_ch_.Clear(); }
 void ChannelTransport::Client::SendOperation(const OperationRequest& req) {
   std::string body;
   req.EncodeTo(&body);
+  transport_->op_messages_.fetch_add(1);
+  transport_->ops_carried_.fetch_add(1);
   transport_->request_ch_.Send(
       WrapMessage(MessageKind::kOperationRequest, body));
 }
@@ -53,6 +55,8 @@ void ChannelTransport::Client::SendOperationBatch(
   batch.ops = reqs;
   std::string body;
   batch.EncodeTo(&body);
+  transport_->op_messages_.fetch_add(1);
+  transport_->ops_carried_.fetch_add(reqs.size());
   transport_->request_ch_.Send(
       WrapMessage(MessageKind::kOperationBatch, body));
 }

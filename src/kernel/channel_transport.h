@@ -47,6 +47,14 @@ class ChannelTransport {
   const SimChannel& request_channel() const { return request_ch_; }
   const SimChannel& reply_channel() const { return reply_ch_; }
 
+  /// Operation-carrying request messages sent (kOperationRequest +
+  /// kOperationBatch) — excludes control traffic, so msgs/txn is
+  /// comparable against ops/txn.
+  uint64_t op_messages() const { return op_messages_.load(); }
+  /// Operations those messages carried; batching makes this exceed
+  /// op_messages().
+  uint64_t ops_carried() const { return ops_carried_.load(); }
+
  private:
   class Client : public DcClient {
    public:
@@ -88,6 +96,8 @@ class ChannelTransport {
   std::mutex flush_mu_;
   std::condition_variable flush_cv_;
   std::thread flusher_;
+  std::atomic<uint64_t> op_messages_{0};
+  std::atomic<uint64_t> ops_carried_{0};
 };
 
 }  // namespace untx

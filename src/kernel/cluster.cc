@@ -1,0 +1,256 @@
+#include "kernel/cluster.h"
+
+#include <set>
+
+namespace untx {
+
+namespace {
+
+/// Direct binding: the client IS the transport; nothing to start or stop.
+class DirectBoundTransport : public BoundTransport {
+ public:
+  explicit DirectBoundTransport(DataComponent* dc) : client_(dc) {}
+  DcClient* client() override { return &client_; }
+
+ private:
+  DirectDcClient client_;
+};
+
+class DirectTransportFactory : public TransportFactory {
+ public:
+  std::unique_ptr<BoundTransport> Bind(TcId, DcId,
+                                       DataComponent* target) override {
+    return std::make_unique<DirectBoundTransport>(target);
+  }
+};
+
+/// Channel binding: a per-(TC, DC) ChannelTransport — its own SimChannel
+/// pair, server threads and reply dispatcher, so reply routing stays
+/// per-TC and each binding's wire stats are separable.
+class ChannelBoundTransport : public BoundTransport {
+ public:
+  ChannelBoundTransport(DataComponent* dc, ChannelTransportOptions options)
+      : transport_(dc, options) {}
+  DcClient* client() override { return transport_.client(); }
+  ChannelTransport* channel() override { return &transport_; }
+  void Start() override { transport_.Start(); }
+  void Stop() override { transport_.Stop(); }
+  void OnDcCrash() override { transport_.OnDcCrash(); }
+
+ private:
+  ChannelTransport transport_;
+};
+
+class ChannelTransportFactory : public TransportFactory {
+ public:
+  explicit ChannelTransportFactory(ChannelTransportOptions options)
+      : options_(options) {}
+  std::unique_ptr<BoundTransport> Bind(TcId, DcId,
+                                       DataComponent* target) override {
+    return std::make_unique<ChannelBoundTransport>(target, options_);
+  }
+
+ private:
+  ChannelTransportOptions options_;
+};
+
+}  // namespace
+
+std::shared_ptr<TransportFactory> MakeDirectTransportFactory() {
+  return std::make_shared<DirectTransportFactory>();
+}
+
+std::shared_ptr<TransportFactory> MakeChannelTransportFactory(
+    ChannelTransportOptions options) {
+  return std::make_shared<ChannelTransportFactory>(options);
+}
+
+StatusOr<std::unique_ptr<Cluster>> Cluster::Open(ClusterOptions options) {
+  if (options.num_dcs < 1) {
+    return Status::InvalidArgument("need at least one DC");
+  }
+  if (options.tcs.empty()) options.tcs.emplace_back();
+  // tc_id is the TC's identity at the DCs (abLSN idempotence, reset
+  // escalation): multi-TC topologies must assign each one explicitly —
+  // never renumber silently.
+  std::set<TcId> ids;
+  for (const TcSpec& spec : options.tcs) {
+    if (!ids.insert(spec.options.tc_id).second) {
+      return Status::InvalidArgument(
+          "duplicate tc_id in cluster spec: give every TcSpec a unique "
+          "TcOptions::tc_id");
+    }
+  }
+
+  auto cluster = std::unique_ptr<Cluster>(new Cluster());
+  cluster->options_ = options;
+
+  for (int d = 0; d < options.num_dcs; ++d) {
+    cluster->stores_.push_back(std::make_unique<StableStore>(options.store));
+    cluster->dcs_.push_back(std::make_unique<DataComponent>(
+        cluster->stores_.back().get(), options.dc));
+    Status s = cluster->dcs_.back()->Initialize();
+    if (!s.ok()) return s;
+  }
+
+  Router fallback = options.default_router;
+  if (!fallback) {
+    const int num_dcs = options.num_dcs;
+    fallback = [num_dcs](TableId table, const std::string&) {
+      return static_cast<DcId>(table % num_dcs);
+    };
+  }
+
+  // Factories are shared across TCs of the same kind so a custom factory
+  // can pool resources; the defaults are stateless.
+  std::shared_ptr<TransportFactory> cluster_factory = options.binding_factory;
+  if (!cluster_factory) {
+    cluster_factory = options.transport == TransportKind::kChannel
+                          ? MakeChannelTransportFactory(options.channel)
+                          : MakeDirectTransportFactory();
+  }
+  std::shared_ptr<TransportFactory> direct_factory;
+  std::shared_ptr<TransportFactory> channel_factory;
+
+  for (size_t t = 0; t < options.tcs.size(); ++t) {
+    const TcSpec& spec = options.tcs[t];
+    TransportFactory* factory = cluster_factory.get();
+    if (spec.transport.has_value()) {
+      if (*spec.transport == TransportKind::kChannel) {
+        if (!channel_factory) {
+          channel_factory = MakeChannelTransportFactory(options.channel);
+        }
+        factory = channel_factory.get();
+      } else {
+        if (!direct_factory) direct_factory = MakeDirectTransportFactory();
+        factory = direct_factory.get();
+      }
+    }
+
+    cluster->bindings_.emplace_back();
+    std::vector<DcBinding> tc_bindings;
+    for (int d = 0; d < options.num_dcs; ++d) {
+      cluster->bindings_.back().push_back(factory->Bind(
+          spec.options.tc_id, static_cast<DcId>(d), cluster->dcs_[d].get()));
+      tc_bindings.push_back(DcBinding{static_cast<DcId>(d),
+                                      cluster->bindings_.back()[d]->client()});
+    }
+    Router router = spec.router ? spec.router : fallback;
+    cluster->tcs_.push_back(std::make_unique<TransactionComponent>(
+        spec.options, tc_bindings, router));
+    // Transports must carry messages before the TC announces itself.
+    for (auto& binding : cluster->bindings_.back()) binding->Start();
+    Status s = cluster->tcs_.back()->Start();
+    if (!s.ok()) return s;
+  }
+  return cluster;
+}
+
+Cluster::~Cluster() {
+  for (auto& tc : tcs_) tc->Stop();
+  for (auto& row : bindings_) {
+    for (auto& binding : row) binding->Stop();
+  }
+}
+
+uint64_t Cluster::TotalRequestMessages() const {
+  uint64_t total = 0;
+  for (const auto& row : bindings_) {
+    for (const auto& binding : row) {
+      if (ChannelTransport* ch = binding->channel()) {
+        total += ch->request_channel().sent();
+      }
+    }
+  }
+  return total;
+}
+
+uint64_t Cluster::TotalOpMessages() const {
+  uint64_t total = 0;
+  for (const auto& row : bindings_) {
+    for (const auto& binding : row) {
+      if (ChannelTransport* ch = binding->channel()) {
+        total += ch->op_messages();
+      }
+    }
+  }
+  return total;
+}
+
+uint64_t Cluster::TotalOpsCarried() const {
+  uint64_t total = 0;
+  for (const auto& row : bindings_) {
+    for (const auto& binding : row) {
+      if (ChannelTransport* ch = binding->channel()) {
+        total += ch->ops_carried();
+      }
+    }
+  }
+  return total;
+}
+
+void Cluster::CrashDc(int d) {
+  if (d < 0 || d >= num_dcs()) return;
+  dcs_[d]->Crash();
+  // Every TC's in-flight requests to this DC die in its inbox.
+  for (auto& row : bindings_) row[d]->OnDcCrash();
+}
+
+Status Cluster::RecoverDc(int d) {
+  if (d < 0 || d >= num_dcs()) {
+    return Status::InvalidArgument("no such dc");
+  }
+  dcs_[d]->Restore();
+  // Phase 1: DC-local recovery makes the structures well-formed (§5.2.2).
+  Status s = dcs_[d]->Recover();
+  if (!s.ok()) return s;
+  // Phase 2: the out-of-band prompt — every TC redo-resends from its
+  // RSSP (§5.3.2 "DC Failure"; with several TCs, each owns a slice of
+  // the lost operations).
+  for (auto& tc : tcs_) {
+    Status rs = tc->OnDcRestart(static_cast<DcId>(d));
+    if (!rs.ok()) return rs;
+  }
+  return Status::OK();
+}
+
+Status Cluster::CrashAndRecoverDc(int d) {
+  CrashDc(d);
+  return RecoverDc(d);
+}
+
+void Cluster::CrashTc(int t) {
+  if (t < 0 || t >= num_tcs()) return;
+  tcs_[t]->Crash();
+}
+
+Status Cluster::RestartTc(int t) {
+  if (t < 0 || t >= num_tcs()) {
+    return Status::InvalidArgument("no such tc");
+  }
+  std::vector<TcId> escalate;
+  Status s = tcs_[t]->Restart(&escalate);
+  if (!s.ok()) return s;
+  // §6.1.2 escalation: the restart's DC resets may have dropped shared
+  // pages reflecting OTHER TCs' operations; those TCs repopulate from
+  // their own logs.
+  for (TcId victim : escalate) {
+    for (auto& tc : tcs_) {
+      if (tc->id() == victim && tc.get() != tcs_[t].get()) {
+        Status rs = tc->ResendFromRssp();
+        if (!rs.ok()) return rs;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Cluster::CrashAndRestartTc(int t) {
+  if (t < 0 || t >= num_tcs()) {
+    return Status::InvalidArgument("no such tc");
+  }
+  CrashTc(t);
+  return RestartTc(t);
+}
+
+}  // namespace untx

@@ -1,0 +1,175 @@
+// Cluster: the unified deployment wiring of the unbundled kernel — N
+// TransactionComponents sharing M DataComponents (Figure 1 right side,
+// Figure 2, §6), every TC↔DC pair bound through a pluggable transport.
+//
+// A TransportFactory produces one BoundTransport per (TC, DC) pair:
+//   * direct   — in-process DirectDcClient, the multi-core deployment;
+//   * channel  — a per-pair ChannelTransport (SimChannel pair + server/
+//                dispatcher threads) with client-side batch coalescing,
+//                the cloud deployment.
+// The transport is chosen cluster-wide, overridden per TC, or supplied
+// as a custom factory (e.g. channel to remote DCs, direct to a
+// co-located one).
+//
+// The cluster is also the fault-injection surface (§5.3, §6.1.2):
+// CrashDc/RecoverDc make every TC redo-resend to the revived DC;
+// CrashTc/RestartTc run the multi-TC reset escalation — TCs named in a
+// reset reply repopulate shared pages from their own RSSPs.
+//
+// One-TC deployments are wrapped by UnbundledDb (kernel/unbundled_db.h);
+// the §6.3 movie site (cloud/movie_site.h) builds its Figure 2 topology
+// on this API.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/status_or.h"
+#include "dc/data_component.h"
+#include "kernel/channel_transport.h"
+#include "storage/stable_store.h"
+#include "tc/dc_client.h"
+#include "tc/transaction_component.h"
+
+namespace untx {
+
+enum class TransportKind : uint8_t { kDirect = 0, kChannel = 1 };
+
+/// One live TC↔DC binding produced by a TransportFactory. Owns whatever
+/// machinery sits behind the DcClient — nothing for a direct call path,
+/// channels plus server/dispatcher threads for the cloud path.
+class BoundTransport {
+ public:
+  virtual ~BoundTransport() = default;
+
+  /// The client the TC talks through. Valid for the binding's lifetime.
+  virtual DcClient* client() = 0;
+
+  /// The channel machinery behind the binding (per-binding message
+  /// stats, fault knobs); nullptr for bindings with no wire.
+  virtual ChannelTransport* channel() { return nullptr; }
+
+  virtual void Start() {}
+  virtual void Stop() {}
+
+  /// The DC behind this binding crashed: in-flight requests die with it.
+  virtual void OnDcCrash() {}
+};
+
+/// Produces the binding one TC uses to reach one DC. Consulted once per
+/// (TC, DC) pair at cluster open.
+class TransportFactory {
+ public:
+  virtual ~TransportFactory() = default;
+  virtual std::unique_ptr<BoundTransport> Bind(TcId tc, DcId dc,
+                                               DataComponent* target) = 0;
+};
+
+/// In-process DirectDcClient bindings (multi-core style).
+std::shared_ptr<TransportFactory> MakeDirectTransportFactory();
+
+/// Per-(TC, DC) ChannelTransport bindings — asynchronous messages with
+/// client-side kOperationBatch coalescing (cloud style).
+std::shared_ptr<TransportFactory> MakeChannelTransportFactory(
+    ChannelTransportOptions options);
+
+/// One TC of the topology.
+struct TcSpec {
+  TcOptions options;
+  /// Routes this TC's (table, key)s to DCs; empty = the cluster default.
+  Router router;
+  /// Per-TC transport override; unset = the cluster-wide choice.
+  std::optional<TransportKind> transport;
+};
+
+struct ClusterOptions {
+  int num_dcs = 1;
+  /// One entry per TC; empty = a single TC with default options.
+  /// TcOptions::tc_id is the TC's identity at the DCs — multi-TC specs
+  /// must assign unique ids (duplicates are rejected, never renumbered).
+  std::vector<TcSpec> tcs;
+  DataComponentOptions dc;
+  StableStoreOptions store;
+  /// Cluster-wide transport choice (overridable per TC via TcSpec).
+  TransportKind transport = TransportKind::kDirect;
+  /// Options for channel bindings (cluster-wide or per-TC).
+  ChannelTransportOptions channel;
+  /// Custom binding factory; when set it replaces the `transport` choice
+  /// for every TC without its own TcSpec::transport override.
+  std::shared_ptr<TransportFactory> binding_factory;
+  /// Fallback router when a TcSpec has none: table_id % num_dcs.
+  Router default_router;
+};
+
+class Cluster {
+ public:
+  /// Builds and starts a fresh topology (formats the stores).
+  static StatusOr<std::unique_ptr<Cluster>> Open(ClusterOptions options);
+
+  ~Cluster();
+
+  int num_tcs() const { return static_cast<int>(tcs_.size()); }
+  int num_dcs() const { return static_cast<int>(dcs_.size()); }
+
+  /// nullptr for an out-of-range index.
+  TransactionComponent* tc(int t = 0) {
+    if (t < 0 || t >= num_tcs()) return nullptr;
+    return tcs_[t].get();
+  }
+  /// nullptr for an out-of-range index.
+  DataComponent* dc(int d = 0) {
+    if (d < 0 || d >= num_dcs()) return nullptr;
+    return dcs_[d].get();
+  }
+  /// nullptr for an out-of-range index.
+  StableStore* store(int d = 0) {
+    if (d < 0 || d >= static_cast<int>(stores_.size())) return nullptr;
+    return stores_[d].get();
+  }
+  /// The channel behind TC t's binding to DC d; nullptr for direct
+  /// bindings or out-of-range indices. Exposes per-binding message
+  /// stats (sent, dropped, duplicated) to benches and tests.
+  ChannelTransport* channel(int t, int d) {
+    if (t < 0 || t >= num_tcs() || d < 0 || d >= num_dcs()) return nullptr;
+    return bindings_[t][d]->channel();
+  }
+
+  /// Request-channel messages summed over every channel binding — the
+  /// wire cost of the whole topology (0 on all-direct clusters).
+  uint64_t TotalRequestMessages() const;
+  /// Operation-carrying request messages (excludes control traffic).
+  uint64_t TotalOpMessages() const;
+  /// Operations those messages carried; batching makes ops > messages.
+  uint64_t TotalOpsCarried() const;
+
+  // -- Fault injection (§5.3, §6.1.2) -----------------------------------------
+  /// Kills DC d: its cache, reply caches and volatile DC-log tail
+  /// vanish; in-flight requests to it (from every TC) are dropped.
+  void CrashDc(int d);
+  /// Revives DC d: local SMO recovery first (§5.2.2), then EVERY TC
+  /// redo-resends to it from its RSSP (§5.3.2 "DC Failure").
+  Status RecoverDc(int d);
+  Status CrashAndRecoverDc(int d);
+
+  /// Kills TC t: volatile log tail, transaction state and locks vanish.
+  void CrashTc(int t);
+  /// Restarts TC t per §5.3.2 "TC Failure", then runs any §6.1.2
+  /// escalation: other TCs displaced by the reset resend from their
+  /// RSSPs to repopulate shared pages.
+  Status RestartTc(int t);
+  Status CrashAndRestartTc(int t);
+
+ private:
+  Cluster() = default;
+
+  ClusterOptions options_;
+  std::vector<std::unique_ptr<StableStore>> stores_;
+  std::vector<std::unique_ptr<DataComponent>> dcs_;
+  // bindings_[t][d]: TC t's transport to DC d.
+  std::vector<std::vector<std::unique_ptr<BoundTransport>>> bindings_;
+  std::vector<std::unique_ptr<TransactionComponent>> tcs_;
+};
+
+}  // namespace untx

@@ -4,80 +4,22 @@ namespace untx {
 
 StatusOr<std::unique_ptr<UnbundledDb>> UnbundledDb::Open(
     UnbundledDbOptions options) {
+  ClusterOptions cluster;
+  cluster.num_dcs = options.num_dcs;
+  cluster.dc = options.dc;
+  cluster.store = options.store;
+  cluster.transport = options.transport;
+  cluster.channel = options.channel;
+  cluster.default_router = options.router;
+  TcSpec spec;
+  spec.options = options.tc;
+  cluster.tcs.push_back(std::move(spec));
+
+  auto opened = Cluster::Open(std::move(cluster));
+  if (!opened.ok()) return opened.status();
   auto db = std::unique_ptr<UnbundledDb>(new UnbundledDb());
-  db->options_ = options;
-  if (options.num_dcs < 1) {
-    return Status::InvalidArgument("need at least one DC");
-  }
-
-  std::vector<DcBinding> bindings;
-  for (int i = 0; i < options.num_dcs; ++i) {
-    db->stores_.push_back(std::make_unique<StableStore>(options.store));
-    db->dcs_.push_back(std::make_unique<DataComponent>(
-        db->stores_.back().get(), options.dc));
-    Status s = db->dcs_.back()->Initialize();
-    if (!s.ok()) return s;
-
-    DcClient* client = nullptr;
-    if (options.transport == TransportKind::kDirect) {
-      db->direct_clients_.push_back(
-          std::make_unique<DirectDcClient>(db->dcs_.back().get()));
-      client = db->direct_clients_.back().get();
-    } else {
-      db->channel_transports_.push_back(std::make_unique<ChannelTransport>(
-          db->dcs_.back().get(), options.channel));
-      client = db->channel_transports_.back()->client();
-    }
-    bindings.push_back(DcBinding{static_cast<DcId>(i), client});
-  }
-
-  Router router = options.router;
-  if (!router) {
-    const int num_dcs = options.num_dcs;
-    router = [num_dcs](TableId table, const std::string&) {
-      return static_cast<DcId>(table % num_dcs);
-    };
-  }
-  db->tc_ = std::make_unique<TransactionComponent>(options.tc, bindings,
-                                                   router);
-  for (auto& transport : db->channel_transports_) transport->Start();
-  Status s = db->tc_->Start();
-  if (!s.ok()) return s;
+  db->cluster_ = std::move(opened).ValueOrDie();
   return db;
-}
-
-UnbundledDb::~UnbundledDb() {
-  if (tc_) tc_->Stop();
-  for (auto& transport : channel_transports_) transport->Stop();
-}
-
-void UnbundledDb::CrashDc(int i) {
-  if (i < 0 || i >= static_cast<int>(dcs_.size())) return;
-  dcs_[i]->Crash();
-  if (!channel_transports_.empty()) {
-    channel_transports_[i]->OnDcCrash();
-  }
-}
-
-Status UnbundledDb::RecoverDc(int i) {
-  if (i < 0 || i >= static_cast<int>(dcs_.size())) {
-    return Status::InvalidArgument("no such dc");
-  }
-  dcs_[i]->Restore();
-  // Phase 1: DC-local recovery makes the structures well-formed (§5.2.2).
-  Status s = dcs_[i]->Recover();
-  if (!s.ok()) return s;
-  // Phase 2: the out-of-band prompt — the TC redo-resends from the RSSP.
-  return tc_->OnDcRestart(static_cast<DcId>(i));
-}
-
-void UnbundledDb::CrashTc() { tc_->Crash(); }
-
-Status UnbundledDb::RestartTc() {
-  std::vector<TcId> escalate;
-  Status s = tc_->Restart(&escalate);
-  // Single-TC deployment: escalations cannot name anyone else.
-  return s;
 }
 
 }  // namespace untx

@@ -1,7 +1,7 @@
-// UnbundledDb: wiring facade for one-TC deployments of the unbundled
-// kernel — one TransactionComponent, one or more DataComponents, bound by
-// either the direct (multi-core) or the channel (cloud) transport. Multi-
-// TC deployments (Figure 2) are assembled by cloud::Deployment instead.
+// UnbundledDb: the one-TC convenience facade over the unified Cluster
+// wiring (kernel/cluster.h) — one TransactionComponent, one or more
+// DataComponents, bound by either the direct (multi-core) or the channel
+// (cloud) transport. Multi-TC topologies (Figure 2) use Cluster itself.
 //
 // Also the fault-injection surface: CrashDc / RecoverDc, CrashTc /
 // RestartTc drive the §5.3 partial-failure protocols end to end.
@@ -13,15 +13,9 @@
 
 #include "common/status.h"
 #include "common/status_or.h"
-#include "dc/data_component.h"
-#include "kernel/channel_transport.h"
-#include "storage/stable_store.h"
-#include "tc/dc_client.h"
-#include "tc/transaction_component.h"
+#include "kernel/cluster.h"
 
 namespace untx {
-
-enum class TransportKind : uint8_t { kDirect = 0, kChannel = 1 };
 
 struct UnbundledDbOptions {
   int num_dcs = 1;
@@ -40,58 +34,43 @@ class UnbundledDb {
   static StatusOr<std::unique_ptr<UnbundledDb>> Open(
       UnbundledDbOptions options);
 
-  ~UnbundledDb();
-
-  TransactionComponent* tc() { return tc_.get(); }
+  TransactionComponent* tc() { return cluster_->tc(0); }
   /// nullptr for an out-of-range index.
-  DataComponent* dc(int i = 0) {
-    if (i < 0 || i >= static_cast<int>(dcs_.size())) return nullptr;
-    return dcs_[i].get();
-  }
+  DataComponent* dc(int i = 0) { return cluster_->dc(i); }
   /// nullptr for an out-of-range index.
-  StableStore* store(int i = 0) {
-    if (i < 0 || i >= static_cast<int>(stores_.size())) return nullptr;
-    return stores_[i].get();
-  }
+  StableStore* store(int i = 0) { return cluster_->store(i); }
   /// The channel binding for DC i; nullptr on the direct transport or for
   /// an out-of-range index. Exposes channel stats (messages sent, drops)
   /// to benches and tests.
-  ChannelTransport* channel(int i = 0) {
-    if (i < 0 || i >= static_cast<int>(channel_transports_.size())) {
-      return nullptr;
-    }
-    return channel_transports_[i].get();
-  }
-  int num_dcs() const { return static_cast<int>(dcs_.size()); }
+  ChannelTransport* channel(int i = 0) { return cluster_->channel(0, i); }
+  int num_dcs() const { return cluster_->num_dcs(); }
+  /// The underlying topology (to grow a 1-TC deployment's tooling into
+  /// the multi-TC API without rewiring).
+  Cluster* cluster() { return cluster_.get(); }
 
   // -- Convenience transaction API ---------------------------------------------
-  StatusOr<TxnId> Begin() { return tc_->Begin(); }
-  Status Commit(TxnId txn) { return tc_->Commit(txn); }
-  Status Abort(TxnId txn) { return tc_->Abort(txn); }
-  Status CreateTable(TableId table) { return tc_->CreateTable(table); }
+  StatusOr<TxnId> Begin() { return tc()->Begin(); }
+  Status Commit(TxnId txn) { return tc()->Commit(txn); }
+  Status Abort(TxnId txn) { return tc()->Abort(txn); }
+  Status CreateTable(TableId table) { return tc()->CreateTable(table); }
 
   // -- Fault injection -----------------------------------------------------------
   /// Kills DC i: its cache, reply caches and volatile DC-log tail vanish;
   /// in-flight requests to it are dropped.
-  void CrashDc(int i);
+  void CrashDc(int i) { cluster_->CrashDc(i); }
   /// Revives DC i: local SMO recovery first (§5.2.2), then the TC
   /// redo-resends from the RSSP (§5.3.2 "DC Failure").
-  Status RecoverDc(int i);
+  Status RecoverDc(int i) { return cluster_->RecoverDc(i); }
 
   /// Kills the TC: volatile log tail, transaction state and locks vanish.
-  void CrashTc();
+  void CrashTc() { cluster_->CrashTc(0); }
   /// TC restart per §5.3.2 "TC Failure".
-  Status RestartTc();
+  Status RestartTc() { return cluster_->RestartTc(0); }
 
  private:
   UnbundledDb() = default;
 
-  UnbundledDbOptions options_;
-  std::vector<std::unique_ptr<StableStore>> stores_;
-  std::vector<std::unique_ptr<DataComponent>> dcs_;
-  std::vector<std::unique_ptr<DirectDcClient>> direct_clients_;
-  std::vector<std::unique_ptr<ChannelTransport>> channel_transports_;
-  std::unique_ptr<TransactionComponent> tc_;
+  std::unique_ptr<Cluster> cluster_;
 };
 
 /// RAII transaction helper: aborts on destruction unless committed.

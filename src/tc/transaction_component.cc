@@ -137,6 +137,10 @@ void TransactionComponent::OnOperationReply(const OperationReply& reply) {
       ops.erase(std::remove(ops.begin(), ops.end(), op), ops.end());
       if (ops.empty()) inflight_keys_.erase(key_it);
     }
+    // Drain the backpressure window and wake blocked submitters.
+    if (op->pipelined && op->txn != kInvalidTxnId) {
+      ReleaseWindowSlotLocked(op->txn, op->dc);
+    }
   }
   if (op->needs_seal) {
     TcLogRecord rec;
@@ -281,12 +285,77 @@ bool TransactionComponent::WaitForConflicts(const OperationRequest& req) {
   }
 }
 
+void TransactionComponent::ReleaseWindowSlotLocked(TxnId txn, DcId dc) {
+  auto it = window_counts_.find({txn, dc});
+  if (it == window_counts_.end()) return;  // cap off, or cleared by Crash()
+  if (--it->second == 0) window_counts_.erase(it);
+  window_cv_.notify_all();
+}
+
+bool TransactionComponent::WaitForWindow(TxnId txn, DcId dc) {
+  const uint32_t cap = options_.max_outstanding_ops;
+  if (cap == 0 || txn == kInvalidTxnId) return true;
+  const auto window_key = std::make_pair(txn, dc);
+  // Check-and-reserve must be one atomic step: concurrent submitters on
+  // the same (txn, DC) would otherwise each pass the check and jointly
+  // overshoot the cap. The slot is released by the reply handler (or by
+  // SubmitOp itself if the submit fails after the reservation).
+  auto try_reserve = [&]() {
+    uint32_t& count = window_counts_[window_key];
+    if (count >= cap) return false;
+    ++count;
+    return true;
+  };
+  {
+    // Common case: the window has room — one map lookup, no waiting.
+    std::lock_guard<std::mutex> guard(out_mu_);
+    if (try_reserve()) return true;
+  }
+  stats_.backpressure_waits.fetch_add(1);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.op_timeout_ms);
+  const auto interval = std::chrono::milliseconds(
+      std::max<uint32_t>(options_.resend_interval_ms, 10));
+  for (;;) {
+    // The window may still sit in a coalescing queue: push it onto the
+    // wire (outside out_mu_ — the reply handler needs that lock), then
+    // wait for completions to drain it.
+    ClientFor(dc)->FlushOperations();
+    std::unique_lock<std::mutex> lock(out_mu_);
+    bool reserved = false;
+    window_cv_.wait_for(lock, interval,
+                        [&] { return (reserved = try_reserve()); });
+    if (reserved || try_reserve()) return true;
+    if (std::chrono::steady_clock::now() > deadline) return false;
+  }
+}
+
 std::shared_ptr<TransactionComponent::OutstandingOp>
 TransactionComponent::SubmitOp(OperationRequest req, TxnId txn,
                                TcLogRecordType record_type, Lsn undo_target,
-                               bool pipelined) {
-  if (crashed_.load()) return nullptr;
-  if (pipelined && !WaitForConflicts(req)) return nullptr;
+                               bool pipelined, Status* error) {
+  auto fail = [error](Status s) -> std::shared_ptr<OutstandingOp> {
+    if (error != nullptr) *error = std::move(s);
+    return nullptr;
+  };
+  if (crashed_.load()) return fail(Status::Crashed("tc is down"));
+  const DcId dc = Route(req.table_id, req.key);
+  if (pipelined && !WaitForConflicts(req)) {
+    return fail(
+        Status::TimedOut("conflicting in-flight op never completed"));
+  }
+  if (pipelined && !WaitForWindow(txn, dc)) {
+    return fail(Status::Busy("outstanding-op window to the DC is full"));
+  }
+  if (crashed_.load()) {
+    // The window slot reserved above is never consumed: hand it back.
+    if (pipelined && txn != kInvalidTxnId) {
+      std::lock_guard<std::mutex> guard(out_mu_);
+      ReleaseWindowSlotLocked(txn, dc);
+    }
+    return fail(Status::Crashed("tc is down"));
+  }
 
   auto op = std::make_shared<OutstandingOp>();
   const uint64_t index = log_.Reserve();
@@ -298,13 +367,14 @@ TransactionComponent::SubmitOp(OperationRequest req, TxnId txn,
   op->record_type = record_type;
   op->undo_target = undo_target;
   op->pipelined = pipelined;
-  op->dc = Route(req.table_id, req.key);
+  op->dc = dc;
   {
     std::lock_guard<std::mutex> guard(out_mu_);
     outstanding_[req.lsn] = op;
     op->last_send = std::chrono::steady_clock::now();
     if (pipelined) {
       inflight_keys_[InflightKey(req.table_id, req.key)].push_back(op);
+      // The backpressure slot was already reserved by WaitForWindow.
     }
   }
   if (pipelined && txn != kInvalidTxnId &&
@@ -388,9 +458,10 @@ void TransactionComponent::HarvestReply(
 StatusOr<OperationReply> TransactionComponent::ExecuteOp(
     OperationRequest req, TxnId txn, TcLogRecordType record_type,
     Lsn undo_target) {
+  Status error = Status::Crashed("tc is down");
   auto op = SubmitOp(std::move(req), txn, record_type, undo_target,
-                     /*pipelined=*/false);
-  if (!op) return Status::Crashed("tc is down");
+                     /*pipelined=*/false, &error);
+  if (!op) return error;
   return AwaitOp(op);
 }
 
@@ -446,14 +517,10 @@ Status TransactionComponent::LockForRead(TxnId txn, TableId table,
 TransactionComponent::OpHandle TransactionComponent::SubmitLocked(
     TxnId txn, OperationRequest req) {
   OpHandle handle;
+  Status error = Status::Crashed("tc is down");
   handle.op_ = SubmitOp(std::move(req), txn, TcLogRecordType::kOperation,
-                        kInvalidLsn, /*pipelined=*/true);
-  if (!handle.op_) {
-    handle.submit_status_ =
-        crashed_.load()
-            ? Status::Crashed("tc is down")
-            : Status::TimedOut("conflicting in-flight op never completed");
-  }
+                        kInvalidLsn, /*pipelined=*/true, &error);
+  if (!handle.op_) handle.submit_status_ = error;
   return handle;
 }
 
@@ -1078,6 +1145,8 @@ void TransactionComponent::Crash() {
     std::lock_guard<std::mutex> guard(out_mu_);
     orphans.swap(outstanding_);
     inflight_keys_.clear();
+    window_counts_.clear();
+    window_cv_.notify_all();
   }
   for (auto& [lsn, op] : orphans) {
     op->completed = true;
@@ -1170,6 +1239,13 @@ Status TransactionComponent::RedoResend(Lsn from_lsn, DcId only_dc,
   // After a TC crash, Crash() already dropped the volatile tail, so
   // sealed == stable and this is exactly the stable log.
   const uint64_t end = log_.sealed_prefix_end();
+
+  // Pass 1: index the redo operations per DC, in LSN order (indices
+  // only — payloads are re-read per batch so recovery never materializes
+  // the whole redo stream). A key maps to exactly one DC, so per-DC
+  // order is all that conflicting operations need ("redo repeats history
+  // by delivering operations in the correct order to the DC", §3.2).
+  std::map<DcId, std::vector<uint64_t>> per_dc;
   for (uint64_t i = begin; i < end; ++i) {
     std::string payload;
     if (!log_.ReadAt(i, &payload).ok()) continue;
@@ -1188,47 +1264,117 @@ Status TransactionComponent::RedoResend(Lsn from_lsn, DcId only_dc,
         rec.op != OpType::kRollbackVersion) {
       continue;
     }
-
-    OperationRequest req;
-    req.tc_id = options_.tc_id;
-    req.lsn = i + 1;
-    req.op = rec.op;
-    req.table_id = rec.table_id;
-    req.key = rec.key;
-    req.value = rec.value;
-    req.versioned = rec.versioned;
-    req.recovery_resend = true;
     const DcId dc = Route(rec.table_id, rec.key);
     if (!all_dcs && dc != only_dc) continue;
+    per_dc[dc].push_back(i);
+  }
 
-    // Sequential resend: conflicting operations must reach the DC in
-    // LSN order during recovery ("redo repeats history by delivering
-    // operations in the correct order to the DC", §3.2).
-    auto op = std::make_shared<OutstandingOp>();
-    op->request = req;
-    op->dc = dc;
-    op->needs_seal = false;
-    {
-      std::lock_guard<std::mutex> guard(out_mu_);
-      outstanding_[req.lsn] = op;
-    }
-    // Send directly: the per-DC "recovering" gate only holds back the
-    // background resend daemon, not the recovery driver itself.
-    ClientFor(dc)->SendOperation(op->request);
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::milliseconds(options_.op_timeout_ms);
-    while (!op->done.WaitFor(std::chrono::milliseconds(
-        std::max<uint32_t>(options_.resend_interval_ms, 10)))) {
-      if (std::chrono::steady_clock::now() > deadline) {
-        std::lock_guard<std::mutex> guard(out_mu_);
-        outstanding_.erase(req.lsn);
-        return Status::TimedOut("recovery resend not acknowledged");
+  // Pass 2: ship each DC's redo stream as ordered kOperationBatch
+  // messages — one round trip per batch instead of one per op. A batch
+  // executes in request order at the DC (PerformBatch) and batches to
+  // one DC are awaited before the next is sent, preserving LSN order.
+  const size_t batch_cap = std::max<uint32_t>(1, options_.recovery_batch_ops);
+  for (auto& [dc, indices] : per_dc) {
+    for (size_t base = 0; base < indices.size(); base += batch_cap) {
+      const size_t count = std::min(batch_cap, indices.size() - base);
+      std::vector<OperationRequest> chunk;
+      chunk.reserve(count);
+      for (size_t k = base; k < base + count; ++k) {
+        const uint64_t i = indices[k];
+        std::string payload;
+        if (!log_.ReadAt(i, &payload).ok()) continue;
+        Slice in(payload);
+        TcLogRecord rec;
+        if (!TcLogRecord::DecodeFrom(&in, &rec)) continue;
+        OperationRequest req;
+        req.tc_id = options_.tc_id;
+        req.lsn = i + 1;
+        req.op = rec.op;
+        req.table_id = rec.table_id;
+        req.key = rec.key;
+        req.value = rec.value;
+        req.versioned = rec.versioned;
+        req.recovery_resend = true;
+        chunk.push_back(std::move(req));
       }
-      stats_.resends.fetch_add(1);
-      ClientFor(dc)->SendOperation(op->request);
-    }
-    if (op->reply.status.IsCrashed()) {
-      return Status::Crashed("dc failed during recovery resend");
+      if (chunk.empty()) continue;
+      std::vector<std::shared_ptr<OutstandingOp>> ops;
+      ops.reserve(chunk.size());
+      {
+        std::lock_guard<std::mutex> guard(out_mu_);
+        const auto now = std::chrono::steady_clock::now();
+        for (const auto& req : chunk) {
+          auto op = std::make_shared<OutstandingOp>();
+          op->request = req;
+          op->dc = dc;
+          op->needs_seal = false;
+          // Stamp the send time: ResendPass must not judge the batch
+          // stale on its next tick and flood per-op resends while the
+          // batch message is legitimately in flight.
+          op->last_send = now;
+          outstanding_[req.lsn] = op;
+          ops.push_back(std::move(op));
+        }
+      }
+      // Send directly: the per-DC "recovering" gate only holds back the
+      // background resend daemon, not the recovery driver itself.
+      stats_.recovery_resent_ops.fetch_add(chunk.size());
+      stats_.recovery_resend_msgs.fetch_add(1);
+      ClientFor(dc)->SendOperationBatch(chunk);
+
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(options_.op_timeout_ms);
+      const auto resend_age =
+          std::chrono::milliseconds(options_.resend_interval_ms);
+      auto last_batch_send = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < ops.size(); ++i) {
+        while (!ops[i]->done.WaitFor(std::chrono::milliseconds(
+            std::max<uint32_t>(options_.resend_interval_ms, 10)))) {
+          const auto now = std::chrono::steady_clock::now();
+          if (now > deadline) {
+            std::lock_guard<std::mutex> guard(out_mu_);
+            for (size_t j = i; j < ops.size(); ++j) {
+              outstanding_.erase(ops[j]->request.lsn);
+            }
+            return Status::TimedOut("recovery resend not acknowledged");
+          }
+          // One resend per resend_interval for the whole batch (the
+          // ResendPass contract) — per-op waits must not compound into
+          // several suffix resends inside one interval while the batch
+          // is still legitimately in flight.
+          if (now - last_batch_send < resend_age) continue;
+          // A lost batch (or reply) loses every op it carried: resend the
+          // still-unacknowledged suffix as one message. Ops before the
+          // suffix are complete, so order is preserved; re-executions are
+          // absorbed by the DC's idempotence.
+          std::vector<OperationRequest> again;
+          {
+            std::lock_guard<std::mutex> guard(out_mu_);
+            for (size_t j = i; j < ops.size(); ++j) {
+              if (ops[j]->completed) continue;
+              ops[j]->last_send = now;  // keep ResendPass off this batch
+              again.push_back(ops[j]->request);
+            }
+          }
+          if (again.empty()) continue;  // completed while assembling
+          stats_.resends.fetch_add(1);
+          stats_.recovery_resend_msgs.fetch_add(1);
+          last_batch_send = now;
+          ClientFor(dc)->SendOperationBatch(again);
+        }
+        if (ops[i]->reply.status.IsCrashed()) {
+          // The DC died mid-batch: deregister the unacknowledged
+          // remainder so the resend daemon doesn't hammer the down DC
+          // with orphaned recovery ops nobody awaits. (The failed
+          // recovery will be re-driven from the log.)
+          std::lock_guard<std::mutex> guard(out_mu_);
+          for (size_t j = i + 1; j < ops.size(); ++j) {
+            outstanding_.erase(ops[j]->request.lsn);
+          }
+          return Status::Crashed("dc failed during recovery resend");
+        }
+      }
     }
   }
   return Status::OK();

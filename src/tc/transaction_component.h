@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
@@ -81,6 +82,15 @@ struct TcOptions {
   uint32_t op_timeout_ms = 20000;
   uint32_t commit_timeout_ms = 20000;
   uint32_t fetch_ahead_batch = 32;
+  /// Backpressure: cap on outstanding (submitted, not yet acknowledged)
+  /// pipelined operations per (transaction, DC). A Submit* at the cap
+  /// blocks until the window drains, then returns Busy after
+  /// op_timeout_ms. 0 = unbounded (the pre-cap behavior).
+  uint32_t max_outstanding_ops = 256;
+  /// Recovery redo-resend ships ordered kOperationBatch messages of at
+  /// most this many operations per DC round trip (1 = the sequential
+  /// one-op-per-trip protocol).
+  uint32_t recovery_batch_ops = 64;
   /// Fetch-ahead protocol: inserts probe and instant-lock the next key so
   /// serializable scans are phantom-safe. Costs one probe per insert.
   bool insert_phantom_protection = true;
@@ -104,6 +114,13 @@ struct TcStats {
   /// Replies the DC answered from its idempotence machinery instead of
   /// executing (OperationReply::was_duplicate) — resend/duplication cost.
   std::atomic<uint64_t> dup_replies{0};
+  /// Submits that blocked on the per-(txn, DC) outstanding-op cap.
+  std::atomic<uint64_t> backpressure_waits{0};
+  /// Redo operations resent by recovery paths (TC restart, DC recovery,
+  /// §6.1.2 escalation).
+  std::atomic<uint64_t> recovery_resent_ops{0};
+  /// Wire messages that carried them — with batching, msgs << ops.
+  std::atomic<uint64_t> recovery_resend_msgs{0};
 };
 
 struct DcBinding {
@@ -284,10 +301,13 @@ class TransactionComponent {
 
   /// Reserves an LSN, registers the outstanding op and fires it (through
   /// the coalescing queue when pipelined). Locks must already be held for
-  /// conflicting operations. Returns nullptr if the TC is crashed.
+  /// conflicting operations. Returns nullptr on failure (TC crashed,
+  /// conflict-gate timeout, backpressure timeout) with the reason in
+  /// *error when provided.
   std::shared_ptr<OutstandingOp> SubmitOp(OperationRequest req, TxnId txn,
                                           TcLogRecordType record_type,
-                                          Lsn undo_target, bool pipelined);
+                                          Lsn undo_target, bool pipelined,
+                                          Status* error = nullptr);
 
   /// Flushes (for pipelined ops) and waits for the reply.
   StatusOr<OperationReply> AwaitOp(const std::shared_ptr<OutstandingOp>& op);
@@ -301,6 +321,16 @@ class TransactionComponent {
   /// same key before dispatch (the §1.2 contract). False if a predecessor
   /// never completed within the op timeout.
   bool WaitForConflicts(const OperationRequest& req);
+
+  /// Backpressure gate: blocks while `txn` already has
+  /// max_outstanding_ops unacknowledged pipelined ops in flight to `dc`,
+  /// then reserves one window slot. False if the window never drained
+  /// within the op timeout.
+  bool WaitForWindow(TxnId txn, DcId dc);
+
+  /// Returns a reserved window slot and wakes blocked submitters.
+  /// Caller must hold out_mu_.
+  void ReleaseWindowSlotLocked(TxnId txn, DcId dc);
 
   /// Submit + await: the blocking call path.
   StatusOr<OperationReply> ExecuteOp(
@@ -363,6 +393,10 @@ class TransactionComponent {
   /// (table|key) -> in-flight ops touching it; pipelined conflict gate.
   std::unordered_map<std::string, std::vector<std::shared_ptr<OutstandingOp>>>
       inflight_keys_;
+  /// Unacknowledged pipelined ops per (txn, DC) — the backpressure
+  /// window. Signaled whenever a pipelined op completes.
+  std::map<std::pair<TxnId, DcId>, uint32_t> window_counts_;
+  std::condition_variable window_cv_;
 
   std::mutex control_mu_;
   uint64_t next_control_seq_ = 1;

@@ -227,6 +227,86 @@ TEST_P(AsyncApiTest, PipelineSpansDcs) {
   check.Commit();
 }
 
+/// Backpressure (§4.2.1): a pipeline cannot queue unboundedly. With a
+/// small per-(txn, DC) window and a slow channel, submits block at the
+/// cap, drain, and every op still commits exactly once.
+TEST(BackpressureTest, SubmitBlocksAtWindowThenDrains) {
+  UnbundledDbOptions options;
+  options.transport = TransportKind::kChannel;
+  options.channel.request_channel.min_delay_us = 300;
+  options.channel.request_channel.max_delay_us = 800;
+  options.channel.reply_channel.min_delay_us = 300;
+  options.channel.reply_channel.max_delay_us = 800;
+  options.tc.control_interval_ms = 5;
+  options.tc.resend_interval_ms = 40;
+  options.tc.max_outstanding_ops = 4;
+  options.tc.insert_phantom_protection = false;
+  auto db = std::move(UnbundledDb::Open(options)).ValueOrDie();
+  ASSERT_TRUE(db->CreateTable(kTable).ok());
+  Txn txn(db->tc());
+  for (int i = 0; i < 32; ++i) {
+    OpHandle h = txn.InsertAsync(kTable, "k" + std::to_string(i), "v");
+    ASSERT_TRUE(h.submitted()) << i;
+  }
+  ASSERT_TRUE(txn.Flush().ok());
+  ASSERT_TRUE(txn.Commit().ok());
+  // 32 ops through a window of 4 over a slow wire: the gate engaged.
+  EXPECT_GT(db->tc()->stats().backpressure_waits.load(), 0u);
+  Txn check(db->tc());
+  std::vector<std::pair<std::string, std::string>> rows;
+  ASSERT_TRUE(check.Scan(kTable, "", "", 0, &rows).ok());
+  EXPECT_EQ(rows.size(), 32u);
+  check.Commit();
+}
+
+/// A window that can never drain (the DC is down) turns Submit* into
+/// Busy after the op timeout instead of queueing forever.
+TEST(BackpressureTest, FullWindowAgainstDeadDcReturnsBusy) {
+  UnbundledDbOptions options;
+  options.transport = TransportKind::kChannel;
+  options.tc.control_interval_ms = 5;
+  options.tc.resend_interval_ms = 20;
+  options.tc.op_timeout_ms = 300;
+  options.tc.max_outstanding_ops = 3;
+  options.tc.insert_phantom_protection = false;
+  auto db = std::move(UnbundledDb::Open(options)).ValueOrDie();
+  ASSERT_TRUE(db->CreateTable(kTable).ok());
+  db->CrashDc(0);
+  TransactionComponent* tc = db->tc();
+  TxnId txn = *tc->Begin();
+  std::vector<OpHandle> handles;
+  for (int i = 0; i < 3; ++i) {
+    handles.push_back(
+        tc->SubmitUpdate(txn, kTable, "k" + std::to_string(i), "v"));
+    ASSERT_TRUE(handles.back().submitted()) << i;
+  }
+  OpHandle overflow = tc->SubmitUpdate(txn, kTable, "k-over", "v");
+  EXPECT_FALSE(overflow.submitted());
+  EXPECT_TRUE(tc->Await(&overflow).IsBusy());
+  EXPECT_GT(tc->stats().backpressure_waits.load(), 0u);
+  tc->Abort(txn);
+  ASSERT_TRUE(db->RecoverDc(0).ok());
+}
+
+/// max_outstanding_ops = 0 preserves the unbounded pre-cap pipeline.
+TEST(BackpressureTest, ZeroCapMeansUnbounded) {
+  UnbundledDbOptions options;
+  options.transport = TransportKind::kChannel;
+  options.tc.control_interval_ms = 5;
+  options.tc.max_outstanding_ops = 0;
+  options.tc.insert_phantom_protection = false;
+  auto db = std::move(UnbundledDb::Open(options)).ValueOrDie();
+  ASSERT_TRUE(db->CreateTable(kTable).ok());
+  Txn txn(db->tc());
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(txn.InsertAsync(kTable, "k" + std::to_string(i), "v")
+                    .submitted());
+  }
+  ASSERT_TRUE(txn.Flush().ok());
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_EQ(db->tc()->stats().backpressure_waits.load(), 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(Transports, AsyncApiTest,
                          ::testing::Values(TransportKind::kDirect,
                                            TransportKind::kChannel),

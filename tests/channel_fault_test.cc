@@ -1,6 +1,7 @@
 // Interaction-contract property tests (§4.2): exactly-once execution
 // over channels with swept fault rates, and the channel transport's
-// behavior during component failures.
+// behavior during component failures — for the 1-TC facade and for
+// multi-TC channel clusters.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -102,6 +103,50 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<1>(info.param)) + "delay" +
              std::to_string(std::get<2>(info.param));
     });
+
+// Two TCs sharing one DC over independently lossy channels: each TC's
+// resend/idempotence contract holds without cross-TC interference —
+// every committed effect lands exactly once.
+TEST(ChannelFaultClusterTest, TwoTcsExactlyOnceUnderFaults) {
+  ClusterOptions options;
+  options.num_dcs = 1;
+  options.transport = TransportKind::kChannel;
+  options.channel.request_channel.drop_prob = 0.03;
+  options.channel.request_channel.dup_prob = 0.03;
+  options.channel.request_channel.max_delay_us = 300;
+  options.channel.request_channel.seed = 101;
+  options.channel.reply_channel.drop_prob = 0.03;
+  options.channel.reply_channel.dup_prob = 0.03;
+  options.channel.reply_channel.max_delay_us = 300;
+  options.channel.reply_channel.seed = 211;
+  for (int t = 0; t < 2; ++t) {
+    TcSpec spec;
+    spec.options.tc_id = static_cast<TcId>(t + 1);
+    spec.options.resend_interval_ms = 5;
+    spec.options.control_interval_ms = 5;
+    options.tcs.push_back(spec);
+  }
+  auto cluster = std::move(Cluster::Open(options)).ValueOrDie();
+  ASSERT_TRUE(cluster->tc(0)->CreateTable(kTable).ok());
+  for (int i = 0; i < 30; ++i) {
+    for (int t = 0; t < 2; ++t) {
+      TransactionComponent* tc = cluster->tc(t);
+      StatusOr<TxnId> txn = tc->Begin();
+      ASSERT_TRUE(txn.ok());
+      const std::string key =
+          std::string(t == 0 ? "a" : "b") + Key(i);
+      ASSERT_TRUE(tc->Insert(*txn, kTable, key, "v").ok()) << key;
+      ASSERT_TRUE(tc->Commit(*txn).ok()) << key;
+    }
+  }
+  // Exactly-once: 60 distinct rows, no conflicting-op violations.
+  std::vector<std::pair<std::string, std::string>> rows;
+  ASSERT_TRUE(cluster->tc(0)->ScanShared(kTable, "", "", 0,
+                                         ReadFlavor::kDirty, &rows)
+                  .ok());
+  EXPECT_EQ(rows.size(), 60u);
+  EXPECT_EQ(cluster->dc(0)->stats().conflicts_detected.load(), 0u);
+}
 
 TEST(ChannelTransportTest, DcCrashDropsInFlightRequests) {
   UnbundledDbOptions options;

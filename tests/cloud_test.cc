@@ -1,11 +1,13 @@
-// Multi-TC deployment tests: the Figure 2 movie site, cross-TC sharing
-// (§6.2), per-TC failure and escalation (§6.1.2).
+// Multi-TC cluster tests: the Figure 2 movie site, cross-TC sharing
+// (§6.2), per-TC failure and escalation (§6.1.2), and the cloud-style
+// wiring — N TCs × M DCs over the channel transport with batched wire
+// messages.
 #include <gtest/gtest.h>
 
 #include <thread>
 
-#include "cloud/deployment.h"
 #include "cloud/movie_site.h"
+#include "kernel/cluster.h"
 
 namespace untx {
 namespace cloud {
@@ -67,7 +69,7 @@ TEST(MovieSiteTest, W2IsSingleTcNoDistributedCommit) {
   // (MyReviews), yet commits with a single TC log force: the other TC's
   // log is untouched.
   TransactionComponent* owner = site->OwnerTc(0);
-  TransactionComponent* other = site->deployment()->tc(1);
+  TransactionComponent* other = site->cluster()->tc(1);
   const Lsn other_before = other->log()->total_end();
   ASSERT_TRUE(site->W2AddReview(0, 1, "hello").ok());
   EXPECT_EQ(other->log()->total_end(), other_before)
@@ -155,7 +157,7 @@ TEST(MovieSiteTest, TcCrashRecoveryKeepsSiteConsistent) {
   }
   // Crash TC1 (owner of even uids) and restart; escalation (if any) is
   // handled by the deployment.
-  ASSERT_TRUE(site->deployment()->CrashAndRestartTc(0).ok());
+  ASSERT_TRUE(site->cluster()->CrashAndRestartTc(0).ok());
   ASSERT_TRUE(site->VerifyConsistency().ok());
   // The restarted TC keeps working.
   ASSERT_TRUE(site->W2AddReview(2, 1, "post-restart").ok());
@@ -172,7 +174,7 @@ TEST(MovieSiteTest, DcCrashRecoveryKeepsSiteConsistent) {
     ASSERT_TRUE(site->W2AddReview(uid, uid % config.num_movies, "r").ok());
   }
   // Crash the shared user DC (DC2): BOTH TCs must redo-resend to it.
-  ASSERT_TRUE(site->deployment()->CrashAndRecoverDc(2).ok());
+  ASSERT_TRUE(site->cluster()->CrashAndRecoverDc(2).ok());
   ASSERT_TRUE(site->VerifyConsistency().ok());
   std::vector<std::pair<std::string, std::string>> mine;
   ASSERT_TRUE(site->W4GetUserReviews(3, &mine).ok());
@@ -217,23 +219,65 @@ TEST(MovieSiteTest, ConcurrentMixedWorkload) {
   ASSERT_TRUE(site->VerifyConsistency().ok());
 }
 
-TEST(DeploymentTest, DisjointPartitionsTwoTcsOneDc) {
-  DeploymentOptions options;
-  options.num_dcs = 1;
+// The movie site on the channel transport: the full Figure 2 topology
+// (2 TCs × 3 DCs) with every TC↔DC binding a message channel, W5's
+// pipelined multi-get coalescing into batched wire messages.
+TEST(MovieSiteTest, ChannelTransportEndToEnd) {
+  MovieSiteConfig config;
+  config.num_users = 8;
+  config.num_movies = 6;
+  config.transport = TransportKind::kChannel;
+  auto site = std::move(MovieSite::Open(config)).ValueOrDie();
+  ASSERT_TRUE(site->Setup().ok());
+  for (uint32_t uid = 0; uid < config.num_users; ++uid) {
+    ASSERT_TRUE(site->W2AddReview(uid, uid % config.num_movies, "wire").ok());
+  }
+  // Every (TC, DC) binding is a live channel with its own stats.
+  for (int t = 0; t < site->cluster()->num_tcs(); ++t) {
+    for (int d = 0; d < site->cluster()->num_dcs(); ++d) {
+      ASSERT_NE(site->cluster()->channel(t, d), nullptr) << t << "," << d;
+    }
+  }
+  // W5 batching: the listing page's reads coalesce per DC partition, so
+  // the page costs fewer operation messages than one per title.
+  std::vector<uint32_t> page;
+  for (uint32_t mid = 0; mid < config.num_movies; ++mid) page.push_back(mid);
+  const uint64_t msgs_before = site->cluster()->TotalOpMessages();
+  const uint64_t ops_before = site->cluster()->TotalOpsCarried();
+  std::vector<std::string> titles;
+  ASSERT_TRUE(site->W5MovieListing(page, &titles).ok());
+  const uint64_t msgs = site->cluster()->TotalOpMessages() - msgs_before;
+  const uint64_t ops = site->cluster()->TotalOpsCarried() - ops_before;
+  EXPECT_GE(ops, static_cast<uint64_t>(config.num_movies));
+  EXPECT_LT(msgs, ops) << "pipelined reads must coalesce on the wire";
+  ASSERT_TRUE(site->VerifyConsistency().ok());
+}
+
+ClusterOptions TwoTcOptions(int num_dcs, TransportKind transport) {
+  ClusterOptions options;
+  options.num_dcs = num_dcs;
+  options.transport = transport;
   for (int t = 0; t < 2; ++t) {
     TcSpec spec;
     spec.options.tc_id = static_cast<TcId>(t + 1);
     spec.options.control_interval_ms = 5;
+    spec.options.resend_interval_ms = 20;
     options.tcs.push_back(spec);
   }
-  auto deployment = std::move(Deployment::Open(options)).ValueOrDie();
-  ASSERT_TRUE(deployment->tc(0)->CreateTable(9).ok());
+  return options;
+}
+
+TEST(ClusterTest, DisjointPartitionsTwoTcsOneDc) {
+  auto cluster =
+      std::move(Cluster::Open(TwoTcOptions(1, TransportKind::kDirect)))
+          .ValueOrDie();
+  ASSERT_TRUE(cluster->tc(0)->CreateTable(9).ok());
 
   // Interleaved writes from both TCs to disjoint keys of one table on one
   // DC — the §6.1.1 multi-abLSN case.
   for (int i = 0; i < 50; ++i) {
     for (int t = 0; t < 2; ++t) {
-      TransactionComponent* tc = deployment->tc(t);
+      TransactionComponent* tc = cluster->tc(t);
       StatusOr<TxnId> txn = tc->Begin();
       ASSERT_TRUE(txn.ok());
       const std::string key =
@@ -244,26 +288,20 @@ TEST(DeploymentTest, DisjointPartitionsTwoTcsOneDc) {
   }
   // Both TCs read everything (dirty reads commute, §6.2.1).
   std::vector<std::pair<std::string, std::string>> rows;
-  ASSERT_TRUE(deployment->tc(1)->ScanShared(9, "", "", 0, ReadFlavor::kDirty,
-                                            &rows)
+  ASSERT_TRUE(cluster->tc(1)->ScanShared(9, "", "", 0, ReadFlavor::kDirty,
+                                         &rows)
                   .ok());
   EXPECT_EQ(rows.size(), 100u);
 }
 
-TEST(DeploymentTest, TcCrashOnSharedDcSparesOtherTc) {
-  DeploymentOptions options;
-  options.num_dcs = 1;
-  for (int t = 0; t < 2; ++t) {
-    TcSpec spec;
-    spec.options.tc_id = static_cast<TcId>(t + 1);
-    spec.options.control_interval_ms = 5;
-    options.tcs.push_back(spec);
-  }
-  auto deployment = std::move(Deployment::Open(options)).ValueOrDie();
-  ASSERT_TRUE(deployment->tc(0)->CreateTable(9).ok());
+TEST(ClusterTest, TcCrashOnSharedDcSparesOtherTc) {
+  auto cluster =
+      std::move(Cluster::Open(TwoTcOptions(1, TransportKind::kDirect)))
+          .ValueOrDie();
+  ASSERT_TRUE(cluster->tc(0)->CreateTable(9).ok());
   for (int i = 0; i < 30; ++i) {
     for (int t = 0; t < 2; ++t) {
-      TransactionComponent* tc = deployment->tc(t);
+      TransactionComponent* tc = cluster->tc(t);
       StatusOr<TxnId> txn = tc->Begin();
       const std::string key =
           std::string(t == 0 ? "a" : "b") + std::to_string(i);
@@ -271,13 +309,189 @@ TEST(DeploymentTest, TcCrashOnSharedDcSparesOtherTc) {
       ASSERT_TRUE(tc->Commit(*txn).ok());
     }
   }
-  ASSERT_TRUE(deployment->CrashAndRestartTc(0).ok());
+  ASSERT_TRUE(cluster->CrashAndRestartTc(0).ok());
   // All committed rows of both TCs visible.
   std::vector<std::pair<std::string, std::string>> rows;
-  ASSERT_TRUE(deployment->tc(1)->ScanShared(9, "", "", 0, ReadFlavor::kDirty,
-                                            &rows)
+  ASSERT_TRUE(cluster->tc(1)->ScanShared(9, "", "", 0, ReadFlavor::kDirty,
+                                         &rows)
                   .ok());
   EXPECT_EQ(rows.size(), 60u);
+}
+
+// A ≥2-TC × ≥2-DC topology on the channel transport, end to end: every
+// TC commits transactions spanning both DCs through pipelined submits,
+// and the batched wire protocol keeps messages well below one per op.
+TEST(ClusterTest, TwoTcTwoDcChannelClusterCommitsWithBatchedWire) {
+  ClusterOptions options = TwoTcOptions(2, TransportKind::kChannel);
+  // Key-based routing: keys below "m" live on DC0, the rest on DC1, so
+  // one transaction's writes span both DCs.
+  options.default_router = [](TableId, const std::string& key) {
+    return static_cast<DcId>(key < "m" ? 0 : 1);
+  };
+  auto cluster = std::move(Cluster::Open(options)).ValueOrDie();
+  // The table spans both DCs: create it once per partition.
+  ASSERT_TRUE(cluster->tc(0)->CreateTable(9, "a").ok());
+  ASSERT_TRUE(cluster->tc(0)->CreateTable(9, "z").ok());
+
+  const uint64_t op_msgs_before = cluster->TotalOpMessages();
+  const uint64_t ops_before = cluster->TotalOpsCarried();
+  uint64_t total_ops = 0;
+  for (int t = 0; t < 2; ++t) {
+    TransactionComponent* tc = cluster->tc(t);
+    const std::string who = t == 0 ? "A" : "B";
+    for (int i = 0; i < 10; ++i) {
+      StatusOr<TxnId> txn = tc->Begin();
+      ASSERT_TRUE(txn.ok());
+      std::vector<OpHandle> handles;
+      for (int k = 0; k < 4; ++k) {
+        // Two keys per DC, all pipelined; disjoint across TCs.
+        const std::string low = "a" + who + std::to_string(i * 4 + k);
+        const std::string high = "z" + who + std::to_string(i * 4 + k);
+        handles.push_back(tc->SubmitInsert(*txn, 9, low, "v"));
+        handles.push_back(tc->SubmitInsert(*txn, 9, high, "v"));
+        total_ops += 2;
+      }
+      for (auto& handle : handles) {
+        ASSERT_TRUE(tc->Await(&handle).ok());
+      }
+      ASSERT_TRUE(tc->Commit(*txn).ok());
+    }
+    EXPECT_GT(tc->stats().txns_committed.load(), 0u) << "TC " << t;
+  }
+
+  // Wire accounting: the pipelined inserts coalesced into kOperationBatch
+  // messages — strictly fewer operation messages than operations carried
+  // (resends may add messages; batching must still win).
+  const uint64_t op_msgs = cluster->TotalOpMessages() - op_msgs_before;
+  const uint64_t ops_carried = cluster->TotalOpsCarried() - ops_before;
+  EXPECT_GE(ops_carried, total_ops);
+  EXPECT_LT(op_msgs, ops_carried)
+      << "batched wire protocol must coalesce pipelined ops";
+
+  // Both TCs see the union (dirty reads commute, §6.2.1).
+  std::vector<std::pair<std::string, std::string>> rows;
+  ASSERT_TRUE(cluster->tc(1)->ScanShared(9, "", "m", 0, ReadFlavor::kDirty,
+                                         &rows)
+                  .ok());
+  EXPECT_EQ(rows.size(), 80u);  // 40 low keys per TC
+}
+
+// §6.1.2 over the wire: a TC restart on a channel cluster resets shared
+// DCs; displaced TCs resend from their RSSPs; everything stays readable.
+TEST(ClusterTest, TcRestartEscalationOnChannelCluster) {
+  ClusterOptions options = TwoTcOptions(1, TransportKind::kChannel);
+  auto cluster = std::move(Cluster::Open(options)).ValueOrDie();
+  ASSERT_TRUE(cluster->tc(0)->CreateTable(9).ok());
+  for (int i = 0; i < 20; ++i) {
+    for (int t = 0; t < 2; ++t) {
+      TransactionComponent* tc = cluster->tc(t);
+      StatusOr<TxnId> txn = tc->Begin();
+      const std::string key =
+          std::string(t == 0 ? "a" : "b") + std::to_string(i);
+      ASSERT_TRUE(tc->Insert(*txn, 9, key, "v").ok());
+      ASSERT_TRUE(tc->Commit(*txn).ok());
+    }
+  }
+  ASSERT_TRUE(cluster->CrashAndRestartTc(0).ok());
+  // The restarted TC keeps committing over its channel bindings.
+  StatusOr<TxnId> txn = cluster->tc(0)->Begin();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE(cluster->tc(0)->Insert(*txn, 9, "a-post", "v").ok());
+  ASSERT_TRUE(cluster->tc(0)->Commit(*txn).ok());
+  std::vector<std::pair<std::string, std::string>> rows;
+  ASSERT_TRUE(cluster->tc(1)->ScanShared(9, "", "", 0, ReadFlavor::kDirty,
+                                         &rows)
+                  .ok());
+  EXPECT_EQ(rows.size(), 41u);
+}
+
+// §5.3.2 "DC Failure" with two TCs on channels: the shared DC crashes
+// and recovers; BOTH TCs redo-resend their slice over the wire, in
+// batched messages.
+TEST(ClusterTest, DcCrashRecoverTwoTcsRedoResendOverWire) {
+  ClusterOptions options = TwoTcOptions(1, TransportKind::kChannel);
+  auto cluster = std::move(Cluster::Open(options)).ValueOrDie();
+  ASSERT_TRUE(cluster->tc(0)->CreateTable(9).ok());
+  for (int i = 0; i < 25; ++i) {
+    for (int t = 0; t < 2; ++t) {
+      TransactionComponent* tc = cluster->tc(t);
+      StatusOr<TxnId> txn = tc->Begin();
+      const std::string key =
+          std::string(t == 0 ? "a" : "b") + std::to_string(i);
+      ASSERT_TRUE(tc->Insert(*txn, 9, key, "v").ok());
+      ASSERT_TRUE(tc->Commit(*txn).ok());
+    }
+  }
+  ASSERT_TRUE(cluster->CrashAndRecoverDc(0).ok());
+  for (int t = 0; t < 2; ++t) {
+    const TcStats& stats = cluster->tc(t)->stats();
+    EXPECT_GT(stats.recovery_resent_ops.load(), 0u)
+        << "TC " << t << " must redo-resend its slice";
+    EXPECT_LT(stats.recovery_resend_msgs.load(),
+              stats.recovery_resent_ops.load())
+        << "redo must ship batches, not one op per message";
+  }
+  std::vector<std::pair<std::string, std::string>> rows;
+  ASSERT_TRUE(cluster->tc(0)->ScanShared(9, "", "", 0, ReadFlavor::kDirty,
+                                         &rows)
+                  .ok());
+  EXPECT_EQ(rows.size(), 50u);
+}
+
+// Per-TC transport override: TC0 direct (co-located), TC1 on channels.
+TEST(ClusterTest, MixedTransportsPerTc) {
+  ClusterOptions options = TwoTcOptions(1, TransportKind::kDirect);
+  options.tcs[1].transport = TransportKind::kChannel;
+  auto cluster = std::move(Cluster::Open(options)).ValueOrDie();
+  EXPECT_EQ(cluster->channel(0, 0), nullptr);
+  ASSERT_NE(cluster->channel(1, 0), nullptr);
+  ASSERT_TRUE(cluster->tc(0)->CreateTable(9).ok());
+  for (int t = 0; t < 2; ++t) {
+    TransactionComponent* tc = cluster->tc(t);
+    StatusOr<TxnId> txn = tc->Begin();
+    ASSERT_TRUE(tc->Insert(*txn, 9, "k" + std::to_string(t), "v").ok());
+    ASSERT_TRUE(tc->Commit(*txn).ok());
+  }
+  EXPECT_GT(cluster->channel(1, 0)->request_channel().sent(), 0u);
+  EXPECT_EQ(cluster->TotalRequestMessages(),
+            cluster->channel(1, 0)->request_channel().sent());
+}
+
+TEST(ClusterTest, OpenRejectsBadTopologies) {
+  ClusterOptions options;
+  options.num_dcs = 0;
+  EXPECT_TRUE(Cluster::Open(options).status().IsInvalidArgument());
+
+  // Duplicate tc_ids are rejected, never silently renumbered — the id is
+  // the TC's identity at the DCs (idempotence, escalation).
+  ClusterOptions dup = TwoTcOptions(1, TransportKind::kDirect);
+  dup.tcs[0].options.tc_id = 7;
+  dup.tcs[1].options.tc_id = 7;
+  EXPECT_TRUE(Cluster::Open(dup).status().IsInvalidArgument());
+
+  // Two default-constructed TcSpecs collide on the default id too.
+  ClusterOptions defaults;
+  defaults.num_dcs = 1;
+  defaults.tcs.resize(2);
+  EXPECT_TRUE(Cluster::Open(defaults).status().IsInvalidArgument());
+}
+
+TEST(ClusterTest, AccessorsRejectBadIndices) {
+  auto cluster =
+      std::move(Cluster::Open(TwoTcOptions(2, TransportKind::kDirect)))
+          .ValueOrDie();
+  EXPECT_EQ(cluster->num_tcs(), 2);
+  EXPECT_EQ(cluster->num_dcs(), 2);
+  EXPECT_EQ(cluster->tc(2), nullptr);
+  EXPECT_EQ(cluster->tc(-1), nullptr);
+  EXPECT_EQ(cluster->dc(2), nullptr);
+  EXPECT_EQ(cluster->store(2), nullptr);
+  EXPECT_EQ(cluster->channel(0, 2), nullptr);
+  EXPECT_EQ(cluster->channel(2, 0), nullptr);
+  EXPECT_TRUE(cluster->RecoverDc(7).IsInvalidArgument());
+  EXPECT_TRUE(cluster->RestartTc(7).IsInvalidArgument());
+  cluster->CrashDc(7);  // out of range: no-op
+  cluster->CrashTc(7);
 }
 
 }  // namespace
