@@ -9,6 +9,7 @@
 // Measured: scan cost and insert cost per protocol, lock acquisitions
 // and probe round-trips per operation, and writer throughput under a
 // concurrent scanner (the concurrency give-up).
+#include <algorithm>
 #include <thread>
 
 #include "bench_util.h"
@@ -117,6 +118,94 @@ BENCHMARK(BM_WriterUnderScanner)
     ->Arg(16)
     ->Arg(256)
     ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+// ---- Scan-heavy arm over the channel transport (PR 3) -----------------------
+//
+// The unbundling cost is per MESSAGE (§5.1): the blocking protocol pays
+// one ScanRange round trip per window, the streamed protocol pays one
+// kScanStream request per scan with chunked replies, and the fetch-ahead
+// transactional scan prefetches the next probe while the current window
+// is locked and validated. arg0: 1 = streamed/prefetching, 0 = blocking.
+
+constexpr int kChannelRows = 1500;
+
+std::unique_ptr<UnbundledDb> MakeChannelScanDb(bool streaming) {
+  UnbundledDbOptions options = DefaultDbOptions();
+  options.transport = TransportKind::kChannel;
+  options.channel.request_channel.min_delay_us = 50;
+  options.channel.request_channel.max_delay_us = 150;
+  options.channel.reply_channel.min_delay_us = 50;
+  options.channel.reply_channel.max_delay_us = 150;
+  options.tc.scan_streaming = streaming;
+  options.tc.scan_stream_chunk = 64;
+  options.tc.fetch_ahead_batch = 32;
+  auto db = std::move(UnbundledDb::Open(options)).ValueOrDie();
+  db->CreateTable(kTable);
+  // Pipelined load: batched flushes, not one round trip per row.
+  for (int base = 0; base < kChannelRows; base += 64) {
+    Txn txn(db->tc());
+    for (int i = base; i < std::min(kChannelRows, base + 64); ++i) {
+      txn.InsertAsync(kTable, Key(i), "payload-0123456789");
+    }
+    txn.Flush();
+    txn.Commit();
+  }
+  return db;
+}
+
+void BM_SharedScanChannel(benchmark::State& state) {
+  const bool streaming = state.range(0) == 1;
+  auto db = MakeChannelScanDb(streaming);
+  const uint64_t msgs0 = db->channel(0)->op_messages();
+  const uint64_t scan_msgs0 = db->channel(0)->scan_messages();
+  uint64_t rows_returned = 0;
+  for (auto _ : state) {
+    std::vector<std::pair<std::string, std::string>> rows;
+    db->tc()->ScanShared(kTable, "", "", 0, ReadFlavor::kDirty, &rows);
+    rows_returned += rows.size();
+  }
+  state.counters["rows/op"] = benchmark::Counter(
+      static_cast<double>(rows_returned), benchmark::Counter::kAvgIterations);
+  // Blocking mode: ~rows/128 ScanRange request messages per scan.
+  // Streamed mode: 1 scan request message per scan.
+  state.counters["scan_req_msgs/op"] = benchmark::Counter(
+      static_cast<double>((db->channel(0)->op_messages() - msgs0) +
+                          (db->channel(0)->scan_messages() - scan_msgs0)),
+      benchmark::Counter::kAvgIterations);
+  state.counters["scan_restarts"] = static_cast<double>(
+      db->tc()->stats().scan_restarts.load());
+}
+BENCHMARK(BM_SharedScanChannel)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_TxnScanChannel(benchmark::State& state) {
+  const bool streaming = state.range(0) == 1;
+  auto db = MakeChannelScanDb(streaming);
+  int i = 0;
+  for (auto _ : state) {
+    Txn txn(db->tc());
+    std::vector<std::pair<std::string, std::string>> rows;
+    const int start = (i * 131) % (kChannelRows - 450);
+    txn.Scan(kTable, Key(start), Key(start + 400), 0, &rows);
+    txn.Commit();
+    benchmark::DoNotOptimize(rows);
+    ++i;
+  }
+  state.counters["probes/op"] = benchmark::Counter(
+      static_cast<double>(db->tc()->stats().probes.load()),
+      benchmark::Counter::kAvgIterations);
+  state.counters["prefetch_hits/op"] = benchmark::Counter(
+      static_cast<double>(db->tc()->stats().scan_prefetch_hits.load()),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_TxnScanChannel)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
 }  // namespace

@@ -61,6 +61,38 @@ BENCHMARK(BM_CommitThroughput)
     ->UseRealTime()
     ->Iterations(3);
 
+// Group-commit wake granularity (PR 3): the forcer is microsecond-
+// granular and poked on demand by waiting committers, so commit latency
+// tracks the force cost — NOT the daemon interval. Sweeping the interval
+// (200µs … 400ms) must leave single-committer latency flat; before the
+// fix, sub-ms intervals silently became a 1ms tick and large intervals
+// stalled every commit. arg0: group_commit_interval_us.
+void BM_GroupCommitWakeLatency(benchmark::State& state) {
+  UnbundledDbOptions options = DefaultDbOptions();
+  options.tc.group_commit = true;
+  options.tc.group_commit_interval_us = static_cast<uint32_t>(state.range(0));
+  options.tc.log.force_delay_us = 50;
+  auto db = std::move(UnbundledDb::Open(options)).ValueOrDie();
+  db->CreateTable(kTable);
+  Load(db.get(), kTable, 100);
+  int i = 0;
+  for (auto _ : state) {
+    Txn txn(db->tc());
+    txn.Update(kTable, Key(i++ % 100), "w");
+    txn.Commit();
+  }
+  state.counters["on_demand_wakes"] = static_cast<double>(
+      db->tc()->stats().group_commit_wakes.load());
+  state.counters["forces"] =
+      static_cast<double>(db->tc()->log()->force_count());
+}
+BENCHMARK(BM_GroupCommitWakeLatency)
+    ->Arg(200)
+    ->Arg(5000)
+    ->Arg(400000)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
 // Read-only transactions need no force at all (§4.1.1: force "at
 // appropriate times").
 void BM_ReadOnlyCommitNoForce(benchmark::State& state) {

@@ -38,7 +38,11 @@ class WireCounters {
   explicit WireCounters(Cluster* cluster)
       : cluster_(cluster),
         msgs_before_(cluster->TotalOpMessages()),
-        ops_before_(cluster->TotalOpsCarried()) {}
+        ops_before_(cluster->TotalOpsCarried()),
+        scan_msgs_before_(cluster->TotalScanMessages()),
+        scan_rows_before_(cluster->TotalScanRowsCarried()),
+        promote_msgs_before_(cluster->TotalPromoteMessages()),
+        promote_ops_before_(cluster->TotalPromoteOpsCarried()) {}
 
   void Report(benchmark::State& state) const {
     const double iters = static_cast<double>(
@@ -51,14 +55,48 @@ class WireCounters {
         iters;
   }
 
+  /// Streamed scans: request messages per op (1 per stream attempt, vs
+  /// one per window before) and rows carried back in chunks.
+  void ReportScans(benchmark::State& state) const {
+    const double iters = static_cast<double>(
+        state.iterations() == 0 ? 1 : state.iterations());
+    state.counters["scan_msgs/op"] =
+        static_cast<double>(cluster_->TotalScanMessages() -
+                            scan_msgs_before_) /
+        iters;
+    state.counters["scan_rows/op"] =
+        static_cast<double>(cluster_->TotalScanRowsCarried() -
+                            scan_rows_before_) /
+        iters;
+  }
+
+  /// Batched commit-time version promotion: messages vs ops carried.
+  void ReportPromotes(benchmark::State& state) const {
+    const double iters = static_cast<double>(
+        state.iterations() == 0 ? 1 : state.iterations());
+    state.counters["promote_msgs/txn"] =
+        static_cast<double>(cluster_->TotalPromoteMessages() -
+                            promote_msgs_before_) /
+        iters;
+    state.counters["promote_ops/txn"] =
+        static_cast<double>(cluster_->TotalPromoteOpsCarried() -
+                            promote_ops_before_) /
+        iters;
+  }
+
  private:
   Cluster* cluster_;
   uint64_t msgs_before_;
   uint64_t ops_before_;
+  uint64_t scan_msgs_before_;
+  uint64_t scan_rows_before_;
+  uint64_t promote_msgs_before_;
+  uint64_t promote_ops_before_;
 };
 
 void BM_W1_GetMovieReviews(benchmark::State& state) {
   MovieSite* site = GetSite();
+  WireCounters wire(site->cluster());
   uint32_t mid = 0;
   uint64_t reviews_returned = 0;
   for (auto _ : state) {
@@ -69,6 +107,7 @@ void BM_W1_GetMovieReviews(benchmark::State& state) {
   state.counters["reviews/op"] =
       benchmark::Counter(static_cast<double>(reviews_returned),
                          benchmark::Counter::kAvgIterations);
+  wire.ReportScans(state);
 }
 BENCHMARK(BM_W1_GetMovieReviews);
 
@@ -85,6 +124,9 @@ void BM_W2_AddReview(benchmark::State& state) {
   // One transaction, two DCs, zero coordination messages between TCs.
   state.counters["dcs_touched"] = 2;
   wire.Report(state);
+  // Versioned deployment: the commit promotes both written keys in one
+  // batched message per DC.
+  wire.ReportPromotes(state);
 }
 BENCHMARK(BM_W2_AddReview);
 
@@ -109,6 +151,10 @@ void BM_W4_GetUserReviews(benchmark::State& state) {
   state.counters["reviews/op"] =
       benchmark::Counter(static_cast<double>(reviews_returned),
                          benchmark::Counter::kAvgIterations);
+  const TcStats& tc1 = site->cluster()->tc(0)->stats();
+  const TcStats& tc2 = site->cluster()->tc(1)->stats();
+  state.counters["prefetch_hits"] = static_cast<double>(
+      tc1.scan_prefetch_hits.load() + tc2.scan_prefetch_hits.load());
 }
 BENCHMARK(BM_W4_GetUserReviews);
 

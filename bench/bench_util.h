@@ -52,6 +52,20 @@ inline void ReportTcStats(benchmark::State& state,
   state.counters["resends"] = static_cast<double>(stats.resends.load());
   state.counters["dup_replies"] =
       static_cast<double>(stats.dup_replies.load());
+  if (stats.scan_streams.load() > 0) {
+    state.counters["scan_streams"] =
+        static_cast<double>(stats.scan_streams.load());
+    state.counters["scan_rows"] =
+        static_cast<double>(stats.scan_rows.load());
+    state.counters["scan_restarts"] =
+        static_cast<double>(stats.scan_restarts.load());
+  }
+  if (stats.promote_batches.load() > 0) {
+    state.counters["promote_batches"] =
+        static_cast<double>(stats.promote_batches.load());
+    state.counters["promote_ops"] =
+        static_cast<double>(stats.promote_ops.load());
+  }
 }
 
 }  // namespace bench

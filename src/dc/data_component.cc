@@ -475,7 +475,9 @@ OperationReply DataComponent::DoScan(const OperationRequest& req) {
   const bool probe = (req.op == OpType::kProbeNext);
 
   std::string resume_key = req.key;
-  bool skip_equal = false;  // resume semantics after a retired page
+  // Streamed/windowed resumes exclude the start key itself; the flag is
+  // also flipped internally after a retired page forces a restart.
+  bool skip_equal = req.exclusive_start;
 
   for (int restart = 0; restart < 64; ++restart) {
     Frame* leaf = nullptr;

@@ -1,5 +1,7 @@
 #include "dc/dc_api.h"
 
+#include <algorithm>
+
 #include "common/coding.h"
 
 namespace untx {
@@ -15,7 +17,8 @@ void OperationRequest::EncodeTo(std::string* dst) const {
   PutVarint32(dst, limit);
   PutLengthPrefixedSlice(dst, end_key);
   dst->push_back(static_cast<char>((versioned ? 1 : 0) |
-                                   (recovery_resend ? 2 : 0)));
+                                   (recovery_resend ? 2 : 0) |
+                                   (exclusive_start ? 4 : 0)));
 }
 
 bool OperationRequest::DecodeFrom(Slice* input, OperationRequest* out) {
@@ -47,6 +50,7 @@ bool OperationRequest::DecodeFrom(Slice* input, OperationRequest* out) {
   out->end_key = end_key.ToString();
   out->versioned = (flags & 1) != 0;
   out->recovery_resend = (flags & 2) != 0;
+  out->exclusive_start = (flags & 4) != 0;
   return true;
 }
 
@@ -139,6 +143,114 @@ bool OperationBatchReply::DecodeFrom(Slice* input, OperationBatchReply* out) {
     out->replies.push_back(std::move(reply));
   }
   return true;
+}
+
+void ScanStreamRequest::EncodeTo(std::string* dst) const {
+  base.EncodeTo(dst);
+  PutVarint32(dst, chunk_rows);
+}
+
+bool ScanStreamRequest::DecodeFrom(Slice* input, ScanStreamRequest* out) {
+  if (!OperationRequest::DecodeFrom(input, &out->base)) return false;
+  if (!GetVarint32(input, &out->chunk_rows)) return false;
+  return true;
+}
+
+void ScanStreamChunk::EncodeTo(std::string* dst) const {
+  PutFixed16(dst, tc_id);
+  PutVarint64(dst, stream_id);
+  PutVarint32(dst, chunk_index);
+  dst->push_back(static_cast<char>((done ? 1 : 0) |
+                                   (resume_exclusive ? 2 : 0)));
+  PutLengthPrefixedSlice(dst, resume_key);
+  dst->push_back(static_cast<char>(StatusCodeToByte(status.code())));
+  PutLengthPrefixedSlice(dst, status.message());
+  PutVarint32(dst, static_cast<uint32_t>(keys.size()));
+  for (const auto& k : keys) PutLengthPrefixedSlice(dst, k);
+  PutVarint32(dst, static_cast<uint32_t>(values.size()));
+  for (const auto& v : values) PutLengthPrefixedSlice(dst, v);
+}
+
+bool ScanStreamChunk::DecodeFrom(Slice* input, ScanStreamChunk* out) {
+  if (!GetFixed16(input, &out->tc_id)) return false;
+  if (!GetVarint64(input, &out->stream_id)) return false;
+  if (!GetVarint32(input, &out->chunk_index)) return false;
+  if (input->empty()) return false;
+  const uint8_t flags = static_cast<uint8_t>((*input)[0]);
+  input->remove_prefix(1);
+  out->done = (flags & 1) != 0;
+  out->resume_exclusive = (flags & 2) != 0;
+  Slice resume;
+  if (!GetLengthPrefixedSlice(input, &resume)) return false;
+  out->resume_key = resume.ToString();
+  if (input->empty()) return false;
+  const uint8_t code = static_cast<uint8_t>((*input)[0]);
+  input->remove_prefix(1);
+  Slice msg;
+  if (!GetLengthPrefixedSlice(input, &msg)) return false;
+  out->status = StatusFromByte(code, msg.ToString());
+  uint32_t nkeys;
+  if (!GetVarint32(input, &nkeys)) return false;
+  out->keys.clear();
+  out->keys.reserve(nkeys);
+  for (uint32_t i = 0; i < nkeys; ++i) {
+    Slice k;
+    if (!GetLengthPrefixedSlice(input, &k)) return false;
+    out->keys.push_back(k.ToString());
+  }
+  uint32_t nvalues;
+  if (!GetVarint32(input, &nvalues)) return false;
+  out->values.clear();
+  out->values.reserve(nvalues);
+  for (uint32_t i = 0; i < nvalues; ++i) {
+    Slice v;
+    if (!GetLengthPrefixedSlice(input, &v)) return false;
+    out->values.push_back(v.ToString());
+  }
+  return true;
+}
+
+void DcService::PerformScanStream(const ScanStreamRequest& req,
+                                  const ScanChunkEmitter& emit) {
+  OperationRequest op = req.base;
+  op.op = OpType::kScanRange;
+  const uint32_t total = req.base.limit;  // 0 = unbounded
+  const uint32_t chunk_rows = req.chunk_rows == 0 ? 128 : req.chunk_rows;
+  uint64_t emitted = 0;
+  uint32_t index = 0;
+  for (;;) {
+    uint32_t want = chunk_rows;
+    if (total != 0) {
+      want = static_cast<uint32_t>(
+          std::min<uint64_t>(chunk_rows, total - emitted));
+    }
+    op.limit = want;
+    OperationReply reply = Perform(op);
+    ScanStreamChunk chunk;
+    chunk.tc_id = req.base.tc_id;
+    chunk.stream_id = req.base.lsn;
+    chunk.chunk_index = index++;
+    chunk.resume_key = op.key;
+    chunk.resume_exclusive = op.exclusive_start;
+    chunk.status = reply.status;
+    chunk.keys = std::move(reply.keys);
+    chunk.values = std::move(reply.values);
+    emitted += chunk.keys.size();
+    // Only an EMPTY chunk proves the range ended: a scan may return a
+    // short non-empty reply without being exhausted (e.g. it gave up
+    // after repeated structure changes), and the stream must resume
+    // after it rather than silently truncate. Costs one extra DC-local
+    // read per stream — no extra round trip.
+    const bool exhausted = !chunk.status.ok() || chunk.keys.empty() ||
+                           (total != 0 && emitted >= total);
+    chunk.done = exhausted;
+    if (!exhausted) {
+      op.key = chunk.keys.back();
+      op.exclusive_start = true;
+    }
+    emit(chunk);
+    if (exhausted) return;
+  }
 }
 
 void ControlRequest::EncodeTo(std::string* dst) const {

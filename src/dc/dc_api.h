@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,9 @@ struct OperationRequest {
   bool versioned = false;
   /// Set on recovery resends: the TC only needs an ack, not undo info.
   bool recovery_resend = false;
+  /// kProbeNext / kScanRange: `key` itself is excluded from the result —
+  /// the resume discipline of streamed / windowed scans.
+  bool exclusive_start = false;
 
   void EncodeTo(std::string* dst) const;
   static bool DecodeFrom(Slice* input, OperationRequest* out);
@@ -118,6 +122,51 @@ struct OperationBatchReply {
   static bool DecodeFrom(Slice* input, OperationBatchReply* out);
 };
 
+/// One streamed scan: the DC answers a single request with a SEQUENCE of
+/// kScanStreamChunk replies instead of the TC paying one blocking
+/// round trip per window (§3.1 / §5.1 — TC↔DC messages are *the* cost of
+/// unbundling, and scans were still paying one per window). `base.lsn`
+/// is a TC-chosen stream id, NOT a log LSN: scans are read-only, so a
+/// lost chunk is recovered by re-issuing the stream from the last
+/// delivered key (exclusive_start) under a fresh id — no idempotence
+/// machinery needed.
+struct ScanStreamRequest {
+  /// op must be kScanRange; key/end_key/limit/read_flavor as usual.
+  OperationRequest base;
+  /// Rows per chunk reply (0 = the DC-side default).
+  uint32_t chunk_rows = 0;
+
+  void EncodeTo(std::string* dst) const;
+  static bool DecodeFrom(Slice* input, ScanStreamRequest* out);
+};
+
+/// One chunk of a streamed scan, correlated by (tc_id, stream_id).
+/// Chunks are emitted in chunk_index order but the channel may reorder,
+/// drop or duplicate them; the TC reassembles in order and filters
+/// already-delivered keys, so any interleaving of stream executions
+/// still delivers every stable key exactly once.
+struct ScanStreamChunk {
+  TcId tc_id = 0;
+  uint64_t stream_id = 0;
+  uint32_t chunk_index = 0;
+  /// Final chunk of this stream execution (range exhausted or error).
+  bool done = false;
+  /// The resume position this chunk was produced from: the request key
+  /// for chunk 0, the previous chunk's last key (exclusive) after. The
+  /// TC validates continuity against what it actually consumed, so two
+  /// interleaved executions of a duplicated stream request (whose chunk
+  /// boundaries diverged under concurrent writes) can never splice a
+  /// gap into the result — a discontinuous chunk forces a restart.
+  std::string resume_key;
+  bool resume_exclusive = false;
+  Status status;
+  std::vector<std::string> keys;
+  std::vector<std::string> values;
+
+  void EncodeTo(std::string* dst) const;
+  static bool DecodeFrom(Slice* input, ScanStreamChunk* out);
+};
+
 /// Transport envelope: one byte of message kind, then the body.
 enum class MessageKind : uint8_t {
   kOperationRequest = 1,
@@ -126,6 +175,8 @@ enum class MessageKind : uint8_t {
   kControlReply = 4,
   kOperationBatch = 5,
   kOperationBatchReply = 6,
+  kScanStreamRequest = 7,
+  kScanStreamChunk = 8,
 };
 
 std::string WrapMessage(MessageKind kind, const std::string& body);
@@ -149,6 +200,18 @@ class DcService {
     for (const auto& req : reqs) replies.push_back(Perform(req));
     return replies;
   }
+
+  using ScanChunkEmitter = std::function<void(const ScanStreamChunk&)>;
+
+  /// Streams a scan as ordered chunks through `emit`, resuming each
+  /// chunk after the previous one's last key. Emits a final chunk with
+  /// done=true when the range (or the request limit) is exhausted, or
+  /// when an operation fails (the chunk carries the status). The
+  /// default drives Perform(kScanRange) per chunk and declares the
+  /// range exhausted only on an EMPTY reply, so partial replies (a scan
+  /// that gave up early) resume instead of truncating.
+  virtual void PerformScanStream(const ScanStreamRequest& req,
+                                 const ScanChunkEmitter& emit);
 };
 
 }  // namespace untx

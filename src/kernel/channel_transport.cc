@@ -1,5 +1,6 @@
 #include "kernel/channel_transport.h"
 
+#include <algorithm>
 #include <chrono>
 
 namespace untx {
@@ -57,8 +58,24 @@ void ChannelTransport::Client::SendOperationBatch(
   batch.EncodeTo(&body);
   transport_->op_messages_.fetch_add(1);
   transport_->ops_carried_.fetch_add(reqs.size());
+  uint64_t promotes = 0;
+  for (const auto& req : reqs) {
+    if (req.op == OpType::kPromoteVersion) ++promotes;
+  }
+  if (promotes > 0) {
+    transport_->promote_messages_.fetch_add(1);
+    transport_->promote_ops_carried_.fetch_add(promotes);
+  }
   transport_->request_ch_.Send(
       WrapMessage(MessageKind::kOperationBatch, body));
+}
+
+void ChannelTransport::Client::SendScanStream(const ScanStreamRequest& req) {
+  std::string body;
+  req.EncodeTo(&body);
+  transport_->scan_messages_.fetch_add(1);
+  transport_->request_ch_.Send(
+      WrapMessage(MessageKind::kScanStreamRequest, body));
 }
 
 void ChannelTransport::Client::QueueOperation(const OperationRequest& req) {
@@ -67,7 +84,10 @@ void ChannelTransport::Client::QueueOperation(const OperationRequest& req) {
   {
     std::lock_guard<std::mutex> guard(pending_mu_);
     pending_.push_back(req);
+    const auto now = std::chrono::steady_clock::now();
+    last_enqueue_ = now;
     first = pending_.size() == 1;
+    if (first) oldest_enqueue_ = now;
     if (pending_.size() >= transport_->options_.max_batch_ops) {
       full.swap(pending_);
     }
@@ -98,6 +118,16 @@ bool ChannelTransport::Client::HasPending() const {
   return !pending_.empty();
 }
 
+bool ChannelTransport::Client::PendingAges(
+    std::chrono::steady_clock::time_point* oldest,
+    std::chrono::steady_clock::time_point* newest) const {
+  std::lock_guard<std::mutex> guard(pending_mu_);
+  if (pending_.empty()) return false;
+  *oldest = oldest_enqueue_;
+  *newest = last_enqueue_;
+  return true;
+}
+
 void ChannelTransport::Client::SendControl(const ControlRequest& req) {
   std::string body;
   req.EncodeTo(&body);
@@ -108,7 +138,8 @@ void ChannelTransport::Client::SendControl(const ControlRequest& req) {
 void ChannelTransport::FlushLoop() {
   // Safety net for queued ops whose caller never awaits: bounds the time
   // an op can sit in the coalescing buffer. Sleeps until a queue becomes
-  // non-empty, lets the window fill, flushes — zero wakeups when idle.
+  // non-empty, then applies the coalescing policy — zero wakeups idle.
+  using Clock = std::chrono::steady_clock;
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(flush_mu_);
@@ -118,9 +149,36 @@ void ChannelTransport::FlushLoop() {
     }
     if (stop_.load()) return;
     if (!client_.HasPending()) continue;
-    std::this_thread::sleep_for(
-        std::chrono::microseconds(options_.coalesce_window_us));
-    client_.FlushOperations();
+    if (options_.coalesce_policy == CoalescePolicy::kFixedWindow) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.coalesce_window_us));
+      client_.FlushOperations();
+      continue;
+    }
+    // Adaptive: flush on submitter quiescence (no enqueue for
+    // coalesce_idle_us) or when the oldest op hits the latency target.
+    const auto idle = std::chrono::microseconds(options_.coalesce_idle_us);
+    const auto max_delay =
+        std::chrono::microseconds(options_.coalesce_max_delay_us);
+    for (;;) {
+      if (stop_.load()) return;
+      Clock::time_point oldest, newest;
+      if (!client_.PendingAges(&oldest, &newest)) break;  // drained
+      const auto now = Clock::now();
+      if (now - oldest >= max_delay) {
+        coalesce_deadline_flushes_.fetch_add(1);
+        client_.FlushOperations();
+        break;
+      }
+      if (now - newest >= idle) {
+        coalesce_idle_flushes_.fetch_add(1);
+        client_.FlushOperations();
+        break;
+      }
+      const auto until_deadline = (oldest + max_delay) - now;
+      const auto until_idle = (newest + idle) - now;
+      std::this_thread::sleep_for(std::min(until_deadline, until_idle));
+    }
   }
 }
 
@@ -155,6 +213,16 @@ void ChannelTransport::ServerLoop() {
       std::string out;
       batch_reply.EncodeTo(&out);
       reply_ch_.Send(WrapMessage(MessageKind::kOperationBatchReply, out));
+    } else if (kind == MessageKind::kScanStreamRequest) {
+      ScanStreamRequest req;
+      if (!ScanStreamRequest::DecodeFrom(&body, &req)) continue;
+      dc_->PerformScanStream(req, [this](const ScanStreamChunk& chunk) {
+        // A crashed DC sends nothing; the TC restarts the stream.
+        if (chunk.status.IsCrashed()) return;
+        std::string out;
+        chunk.EncodeTo(&out);
+        reply_ch_.Send(WrapMessage(MessageKind::kScanStreamChunk, out));
+      });
     } else if (kind == MessageKind::kControlRequest) {
       ControlRequest req;
       if (!ControlRequest::DecodeFrom(&body, &req)) continue;
@@ -184,6 +252,12 @@ void ChannelTransport::DispatchLoop() {
       if (client_.op_handler()) {
         for (const auto& reply : batch.replies) client_.op_handler()(reply);
       }
+    } else if (kind == MessageKind::kScanStreamChunk) {
+      ScanStreamChunk chunk;
+      if (!ScanStreamChunk::DecodeFrom(&body, &chunk)) continue;
+      scan_chunks_.fetch_add(1);
+      scan_rows_carried_.fetch_add(chunk.keys.size());
+      if (client_.scan_chunk_handler()) client_.scan_chunk_handler()(chunk);
     } else if (kind == MessageKind::kControlReply) {
       ControlReply reply;
       if (!ControlReply::DecodeFrom(&body, &reply)) continue;

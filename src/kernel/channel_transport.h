@@ -5,6 +5,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -17,6 +18,18 @@
 
 namespace untx {
 
+/// When the background flusher pushes a coalescing queue onto the wire.
+enum class CoalescePolicy : uint8_t {
+  /// Legacy: sleep a fixed coalesce_window_us after the queue becomes
+  /// non-empty, then flush — load-oblivious.
+  kFixedWindow = 0,
+  /// Flush when the submitters go quiescent (no new op for
+  /// coalesce_idle_us) or when the oldest queued op has waited
+  /// coalesce_max_delay_us (the latency target), whichever first. Under
+  /// load batches fill naturally; a lone op ships almost immediately.
+  kAdaptive = 1,
+};
+
 struct ChannelTransportOptions {
   ChannelOptions request_channel;
   ChannelOptions reply_channel;
@@ -24,9 +37,15 @@ struct ChannelTransportOptions {
   /// Queued (pipelined) operations coalesce into one kOperationBatch
   /// message; a queue reaching this size flushes immediately.
   uint32_t max_batch_ops = 64;
-  /// Upper bound on how long a queued op may sit before the background
+  CoalescePolicy coalesce_policy = CoalescePolicy::kAdaptive;
+  /// kFixedWindow: how long a queued op sits before the background
   /// flusher pushes it out, for callers that forget an explicit flush.
   uint32_t coalesce_window_us = 200;
+  /// kAdaptive: flush once no new op has been queued for this long.
+  uint32_t coalesce_idle_us = 25;
+  /// kAdaptive: hard latency target — the oldest queued op never waits
+  /// longer than this for the batch to fill.
+  uint32_t coalesce_max_delay_us = 250;
 };
 
 /// Owns the channels and threads binding one TC to one DC.
@@ -54,6 +73,28 @@ class ChannelTransport {
   /// Operations those messages carried; batching makes this exceed
   /// op_messages().
   uint64_t ops_carried() const { return ops_carried_.load(); }
+  /// Scan-stream request messages sent — ONE per stream (attempt), where
+  /// the blocking protocol paid one request per window.
+  uint64_t scan_messages() const { return scan_messages_.load(); }
+  /// Chunk replies received and the rows they carried.
+  uint64_t scan_chunks() const { return scan_chunks_.load(); }
+  uint64_t scan_rows_carried() const { return scan_rows_carried_.load(); }
+  /// Request messages carrying kPromoteVersion ops and the promote ops
+  /// they carried — a K-key versioned commit should cost
+  /// ceil(K / promote_batch_ops) messages, not K.
+  uint64_t promote_messages() const { return promote_messages_.load(); }
+  uint64_t promote_ops_carried() const {
+    return promote_ops_carried_.load();
+  }
+  /// Adaptive-coalescing flush reasons (diagnostics for tuning).
+  uint64_t coalesce_idle_flushes() const {
+    return coalesce_idle_flushes_.load();
+  }
+  uint64_t coalesce_deadline_flushes() const {
+    return coalesce_deadline_flushes_.load();
+  }
+
+  const ChannelTransportOptions& options() const { return options_; }
 
  private:
   class Client : public DcClient {
@@ -63,6 +104,7 @@ class ChannelTransport {
     void SendControl(const ControlRequest& req) override;
     void SendOperationBatch(
         const std::vector<OperationRequest>& reqs) override;
+    void SendScanStream(const ScanStreamRequest& req) override;
     /// Coalesces queued ops bound for this DC into one channel message.
     void QueueOperation(const OperationRequest& req) override;
     void FlushOperations() override;
@@ -70,12 +112,20 @@ class ChannelTransport {
     DcClient::ControlReplyHandler control_handler() const {
       return control_handler_;
     }
+    DcClient::ScanChunkHandler scan_chunk_handler() const {
+      return scan_chunk_handler_;
+    }
     bool HasPending() const;
+    /// Queue age snapshot for the adaptive flusher: false if empty.
+    bool PendingAges(std::chrono::steady_clock::time_point* oldest,
+                     std::chrono::steady_clock::time_point* newest) const;
 
    private:
     ChannelTransport* transport_;
     mutable std::mutex pending_mu_;
     std::vector<OperationRequest> pending_;
+    std::chrono::steady_clock::time_point oldest_enqueue_;
+    std::chrono::steady_clock::time_point last_enqueue_;
   };
 
   void ServerLoop();
@@ -98,6 +148,13 @@ class ChannelTransport {
   std::thread flusher_;
   std::atomic<uint64_t> op_messages_{0};
   std::atomic<uint64_t> ops_carried_{0};
+  std::atomic<uint64_t> scan_messages_{0};
+  std::atomic<uint64_t> scan_chunks_{0};
+  std::atomic<uint64_t> scan_rows_carried_{0};
+  std::atomic<uint64_t> promote_messages_{0};
+  std::atomic<uint64_t> promote_ops_carried_{0};
+  std::atomic<uint64_t> coalesce_idle_flushes_{0};
+  std::atomic<uint64_t> coalesce_deadline_flushes_{0};
 };
 
 }  // namespace untx

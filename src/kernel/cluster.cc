@@ -43,15 +43,19 @@ class ChannelBoundTransport : public BoundTransport {
 
 class ChannelTransportFactory : public TransportFactory {
  public:
-  explicit ChannelTransportFactory(ChannelTransportOptions options)
-      : options_(options) {}
-  std::unique_ptr<BoundTransport> Bind(TcId, DcId,
+  ChannelTransportFactory(ChannelTransportOptions options,
+                          std::map<DcId, ChannelTransportOptions> per_dc)
+      : options_(options), per_dc_(std::move(per_dc)) {}
+  std::unique_ptr<BoundTransport> Bind(TcId, DcId dc,
                                        DataComponent* target) override {
-    return std::make_unique<ChannelBoundTransport>(target, options_);
+    auto it = per_dc_.find(dc);
+    return std::make_unique<ChannelBoundTransport>(
+        target, it == per_dc_.end() ? options_ : it->second);
   }
 
  private:
   ChannelTransportOptions options_;
+  std::map<DcId, ChannelTransportOptions> per_dc_;
 };
 
 }  // namespace
@@ -61,8 +65,10 @@ std::shared_ptr<TransportFactory> MakeDirectTransportFactory() {
 }
 
 std::shared_ptr<TransportFactory> MakeChannelTransportFactory(
-    ChannelTransportOptions options) {
-  return std::make_shared<ChannelTransportFactory>(options);
+    ChannelTransportOptions options,
+    std::map<DcId, ChannelTransportOptions> per_dc) {
+  return std::make_shared<ChannelTransportFactory>(options,
+                                                   std::move(per_dc));
 }
 
 StatusOr<std::unique_ptr<Cluster>> Cluster::Open(ClusterOptions options) {
@@ -105,9 +111,11 @@ StatusOr<std::unique_ptr<Cluster>> Cluster::Open(ClusterOptions options) {
   // can pool resources; the defaults are stateless.
   std::shared_ptr<TransportFactory> cluster_factory = options.binding_factory;
   if (!cluster_factory) {
-    cluster_factory = options.transport == TransportKind::kChannel
-                          ? MakeChannelTransportFactory(options.channel)
-                          : MakeDirectTransportFactory();
+    cluster_factory =
+        options.transport == TransportKind::kChannel
+            ? MakeChannelTransportFactory(options.channel,
+                                          options.channel_overrides)
+            : MakeDirectTransportFactory();
   }
   std::shared_ptr<TransportFactory> direct_factory;
   std::shared_ptr<TransportFactory> channel_factory;
@@ -118,7 +126,8 @@ StatusOr<std::unique_ptr<Cluster>> Cluster::Open(ClusterOptions options) {
     if (spec.transport.has_value()) {
       if (*spec.transport == TransportKind::kChannel) {
         if (!channel_factory) {
-          channel_factory = MakeChannelTransportFactory(options.channel);
+          channel_factory = MakeChannelTransportFactory(
+              options.channel, options.channel_overrides);
         }
         factory = channel_factory.get();
       } else {
@@ -189,11 +198,62 @@ uint64_t Cluster::TotalOpsCarried() const {
   return total;
 }
 
+uint64_t Cluster::TotalScanMessages() const {
+  uint64_t total = 0;
+  for (const auto& row : bindings_) {
+    for (const auto& binding : row) {
+      if (ChannelTransport* ch = binding->channel()) {
+        total += ch->scan_messages();
+      }
+    }
+  }
+  return total;
+}
+
+uint64_t Cluster::TotalScanRowsCarried() const {
+  uint64_t total = 0;
+  for (const auto& row : bindings_) {
+    for (const auto& binding : row) {
+      if (ChannelTransport* ch = binding->channel()) {
+        total += ch->scan_rows_carried();
+      }
+    }
+  }
+  return total;
+}
+
+uint64_t Cluster::TotalPromoteMessages() const {
+  uint64_t total = 0;
+  for (const auto& row : bindings_) {
+    for (const auto& binding : row) {
+      if (ChannelTransport* ch = binding->channel()) {
+        total += ch->promote_messages();
+      }
+    }
+  }
+  return total;
+}
+
+uint64_t Cluster::TotalPromoteOpsCarried() const {
+  uint64_t total = 0;
+  for (const auto& row : bindings_) {
+    for (const auto& binding : row) {
+      if (ChannelTransport* ch = binding->channel()) {
+        total += ch->promote_ops_carried();
+      }
+    }
+  }
+  return total;
+}
+
 void Cluster::CrashDc(int d) {
   if (d < 0 || d >= num_dcs()) return;
   dcs_[d]->Crash();
   // Every TC's in-flight requests to this DC die in its inbox.
   for (auto& row : bindings_) row[d]->OnDcCrash();
+  // Hold resends and streamed scans to the DC until its redo completes
+  // (OnDcRestart re-opens the gate after RecoverDc).
+  for (auto& tc : tcs_) tc->OnDcCrash(static_cast<DcId>(d));
 }
 
 Status Cluster::RecoverDc(int d) {
@@ -206,12 +266,16 @@ Status Cluster::RecoverDc(int d) {
   if (!s.ok()) return s;
   // Phase 2: the out-of-band prompt — every TC redo-resends from its
   // RSSP (§5.3.2 "DC Failure"; with several TCs, each owns a slice of
-  // the lost operations).
+  // the lost operations). Run EVERY TC even if one fails: each
+  // OnDcRestart also re-opens that TC's recovering gate (set by
+  // CrashDc), and skipping a TC would leave its resends and streamed
+  // scans to this DC held forever.
+  Status first;
   for (auto& tc : tcs_) {
     Status rs = tc->OnDcRestart(static_cast<DcId>(d));
-    if (!rs.ok()) return rs;
+    if (first.ok() && !rs.ok()) first = rs;
   }
-  return Status::OK();
+  return first;
 }
 
 Status Cluster::CrashAndRecoverDc(int d) {

@@ -21,6 +21,7 @@
 // on this API.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -71,9 +72,12 @@ class TransportFactory {
 std::shared_ptr<TransportFactory> MakeDirectTransportFactory();
 
 /// Per-(TC, DC) ChannelTransport bindings — asynchronous messages with
-/// client-side kOperationBatch coalescing (cloud style).
+/// client-side kOperationBatch coalescing (cloud style). `per_dc`
+/// entries override the base options for bindings to that DC (e.g. a
+/// remote DC coalesces harder than a co-located one).
 std::shared_ptr<TransportFactory> MakeChannelTransportFactory(
-    ChannelTransportOptions options);
+    ChannelTransportOptions options,
+    std::map<DcId, ChannelTransportOptions> per_dc = {});
 
 /// One TC of the topology.
 struct TcSpec {
@@ -96,6 +100,9 @@ struct ClusterOptions {
   TransportKind transport = TransportKind::kDirect;
   /// Options for channel bindings (cluster-wide or per-TC).
   ChannelTransportOptions channel;
+  /// Per-DC overrides of `channel` — coalescing policy, batch caps and
+  /// fault knobs can differ per DC (a far DC warrants a larger window).
+  std::map<DcId, ChannelTransportOptions> channel_overrides;
   /// Custom binding factory; when set it replaces the `transport` choice
   /// for every TC without its own TcSpec::transport override.
   std::shared_ptr<TransportFactory> binding_factory;
@@ -143,6 +150,14 @@ class Cluster {
   uint64_t TotalOpMessages() const;
   /// Operations those messages carried; batching makes ops > messages.
   uint64_t TotalOpsCarried() const;
+  /// Scan-stream request messages (one per stream attempt, vs one per
+  /// window on the blocking protocol) and the rows chunk replies carried.
+  uint64_t TotalScanMessages() const;
+  uint64_t TotalScanRowsCarried() const;
+  /// Batched commit-time version promotion: messages carrying
+  /// kPromoteVersion ops, and the promote ops carried.
+  uint64_t TotalPromoteMessages() const;
+  uint64_t TotalPromoteOpsCarried() const;
 
   // -- Fault injection (§5.3, §6.1.2) -----------------------------------------
   /// Kills DC d: its cache, reply caches and volatile DC-log tail

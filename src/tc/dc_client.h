@@ -19,6 +19,7 @@ class DcClient {
  public:
   using OpReplyHandler = std::function<void(const OperationReply&)>;
   using ControlReplyHandler = std::function<void(const ControlReply&)>;
+  using ScanChunkHandler = std::function<void(const ScanStreamChunk&)>;
 
   virtual ~DcClient() = default;
 
@@ -26,6 +27,12 @@ class DcClient {
   /// (possibly on the calling thread for direct clients).
   virtual void SendOperation(const OperationRequest& req) = 0;
   virtual void SendControl(const ControlRequest& req) = 0;
+
+  /// Opens a streamed scan: ONE request message, chunked replies through
+  /// the scan-chunk handler (§3.1 — a scan of W windows stops costing W
+  /// blocking round trips). Transports without a wire run the stream
+  /// inline on the calling thread.
+  virtual void SendScanStream(const ScanStreamRequest& req) = 0;
 
   /// Sends several operations as ONE message where the transport supports
   /// it. Default: degrade to per-op sends.
@@ -46,10 +53,14 @@ class DcClient {
   void set_control_reply_handler(ControlReplyHandler h) {
     control_handler_ = std::move(h);
   }
+  void set_scan_chunk_handler(ScanChunkHandler h) {
+    scan_chunk_handler_ = std::move(h);
+  }
 
  protected:
   OpReplyHandler op_handler_;
   ControlReplyHandler control_handler_;
+  ScanChunkHandler scan_chunk_handler_;
 };
 
 /// In-process synchronous binding: the "multi-core" deployment where TC
@@ -77,6 +88,15 @@ class DirectDcClient : public DcClient {
     if (!reply.status.IsCrashed() && control_handler_) {
       control_handler_(reply);
     }
+  }
+
+  void SendScanStream(const ScanStreamRequest& req) override {
+    dc_->PerformScanStream(req, [this](const ScanStreamChunk& chunk) {
+      // A crashed DC produces no chunks; the TC's restart loop retries.
+      if (!chunk.status.IsCrashed() && scan_chunk_handler_) {
+        scan_chunk_handler_(chunk);
+      }
+    });
   }
 
  private:

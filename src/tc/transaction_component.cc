@@ -56,6 +56,8 @@ TransactionComponent::TransactionComponent(TcOptions options,
         [this](const OperationReply& reply) { OnOperationReply(reply); });
     binding.client->set_control_reply_handler(
         [this](const ControlReply& reply) { OnControlReply(reply); });
+    binding.client->set_scan_chunk_handler(
+        [this](const ScanStreamChunk& chunk) { OnScanChunk(chunk); });
   }
 }
 
@@ -79,9 +81,16 @@ Status TransactionComponent::Start() {
         std::chrono::milliseconds(options_.resend_interval_ms),
         [this] { ResendPass(); });
     if (options_.group_commit) {
+      // Committers Poke() the forcer on demand, so commit latency tracks
+      // the force cost — not this interval. The periodic tick is only
+      // the idle backstop for unforced non-commit appends; clamp it to
+      // >= 1ms so a sub-millisecond commit window doesn't spin an idle
+      // core at kHz rates. Grouping still happens naturally: while one
+      // force is in progress, later committers append, wait, and ride
+      // the next force together.
       group_commit_daemon_.Start(
-          std::chrono::milliseconds(
-              std::max(1u, options_.group_commit_interval_us / 1000)),
+          std::chrono::microseconds(
+              std::max(1000u, options_.group_commit_interval_us)),
           [this] {
             if (!crashed_.load()) log_.Force();
           });
@@ -174,6 +183,161 @@ void TransactionComponent::OnControlReply(const ControlReply& reply) {
   }
   pending->reply = reply;
   pending->done.Notify();
+}
+
+void TransactionComponent::OnScanChunk(const ScanStreamChunk& chunk) {
+  if (crashed_.load()) return;
+  std::shared_ptr<ScanStream> stream;
+  {
+    std::lock_guard<std::mutex> guard(stream_mu_);
+    auto it = streams_.find(chunk.stream_id);
+    if (it == streams_.end()) return;  // stale stream (restarted or done)
+    stream = it->second;
+  }
+  std::lock_guard<std::mutex> guard(stream->mu);
+  if (chunk.chunk_index < stream->next_index) return;  // duplicate
+  stream->chunks.emplace(chunk.chunk_index, chunk);
+  stream->cv.notify_all();
+}
+
+Status TransactionComponent::StreamScan(
+    TableId table, const std::string& from, const std::string& to,
+    uint32_t limit, ReadFlavor flavor,
+    const std::function<bool(const std::string&, const std::string&)>&
+        emit_row) {
+  std::string last_key;  // monotonic dedup filter across restarts
+  bool have_last = false;
+  uint64_t delivered = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.op_timeout_ms);
+  const auto chunk_wait = std::chrono::milliseconds(
+      std::max<uint32_t>(options_.resend_interval_ms, 20));
+  stats_.scan_streams.fetch_add(1);
+  for (bool first_attempt = true;; first_attempt = false) {
+    if (crashed_.load()) return Status::Crashed("tc is down");
+    if (!first_attempt) stats_.scan_restarts.fetch_add(1);
+    ScanStreamRequest sreq;
+    sreq.base.op = OpType::kScanRange;
+    sreq.base.tc_id = options_.tc_id;
+    sreq.base.lsn = next_stream_id_.fetch_add(1);  // stream id, not a log LSN
+    sreq.base.table_id = table;
+    sreq.base.key = have_last ? last_key : from;
+    sreq.base.exclusive_start = have_last;
+    sreq.base.end_key = to;
+    sreq.base.read_flavor = flavor;
+    sreq.base.limit =
+        limit == 0 ? 0 : limit - static_cast<uint32_t>(delivered);
+    sreq.chunk_rows = options_.scan_stream_chunk;
+    auto stream = std::make_shared<ScanStream>();
+    {
+      std::lock_guard<std::mutex> guard(stream_mu_);
+      streams_[sreq.base.lsn] = stream;
+    }
+    auto deregister = [&] {
+      std::lock_guard<std::mutex> guard(stream_mu_);
+      streams_.erase(sreq.base.lsn);
+    };
+    const DcId dc = Route(table, sreq.base.key);
+    // Hold the attempt while the DC replays its redo: a stream issued
+    // mid-redo would scan a partially re-populated tree and could
+    // declare the range exhausted early.
+    for (;;) {
+      bool recovering = false;
+      {
+        std::lock_guard<std::mutex> guard(out_mu_);
+        auto it = dc_recovering_.find(dc);
+        recovering = it != dc_recovering_.end() && it->second;
+      }
+      if (!recovering) break;
+      if (crashed_.load() ||
+          std::chrono::steady_clock::now() > deadline) {
+        deregister();
+        return crashed_.load()
+                   ? Status::Crashed("tc is down")
+                   : Status::TimedOut("scan held for dc recovery");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ClientFor(dc)->SendScanStream(sreq);
+    // Continuity cursor: each consumed chunk must have been produced
+    // from exactly the position the previous one ended at. A duplicated
+    // stream request yields two executions whose chunk boundaries can
+    // diverge under concurrent writes; without this check, chunk k of
+    // one execution spliced with chunk k+1 of the other could skip keys.
+    std::string expected_key = sreq.base.key;
+    bool expected_exclusive = sreq.base.exclusive_start;
+    for (;;) {
+      ScanStreamChunk chunk;
+      bool got = false;
+      bool failed = false;
+      {
+        std::unique_lock<std::mutex> lock(stream->mu);
+        stream->cv.wait_for(lock, chunk_wait, [&] {
+          return stream->failed ||
+                 stream->chunks.count(stream->next_index) > 0;
+        });
+        failed = stream->failed;
+        auto it = stream->chunks.find(stream->next_index);
+        if (!failed && it != stream->chunks.end()) {
+          chunk = std::move(it->second);
+          stream->chunks.erase(it);
+          ++stream->next_index;
+          got = true;
+        }
+      }
+      if (failed) {
+        deregister();
+        return Status::Crashed("tc crashed during scan");
+      }
+      if (!got) {
+        // The next in-order chunk is lost or late: give the stream up
+        // and re-issue from the resume point under a fresh id.
+        deregister();
+        if (std::chrono::steady_clock::now() > deadline) {
+          return Status::TimedOut("scan stream stalled");
+        }
+        break;  // restart
+      }
+      if (!chunk.status.ok()) {
+        deregister();
+        return chunk.status;  // logical failure (crashed never arrives)
+      }
+      if (chunk.resume_key != expected_key ||
+          chunk.resume_exclusive != expected_exclusive) {
+        // Discontinuous chunk (a divergent duplicate execution): drop
+        // the stream and re-issue from the last delivered key.
+        deregister();
+        if (std::chrono::steady_clock::now() > deadline) {
+          return Status::TimedOut("scan stream lost continuity");
+        }
+        break;  // restart
+      }
+      if (!chunk.keys.empty()) {
+        expected_key = chunk.keys.back();
+        expected_exclusive = true;
+      }
+      stats_.scan_chunks.fetch_add(1);
+      for (size_t i = 0; i < chunk.keys.size(); ++i) {
+        const std::string& key = chunk.keys[i];
+        // Drop keys already delivered by an earlier attempt (or by a
+        // duplicated stream execution racing this one).
+        if (have_last && key <= last_key) continue;
+        stats_.scan_rows.fetch_add(1);
+        ++delivered;
+        last_key = key;
+        have_last = true;
+        if (!emit_row(key, chunk.values[i])) {
+          deregister();
+          return Status::OK();  // caller hit its limit
+        }
+      }
+      if (chunk.done) {
+        deregister();
+        return Status::OK();
+      }
+    }
+  }
 }
 
 StatusOr<ControlReply> TransactionComponent::ControlAwait(
@@ -730,6 +894,16 @@ Status TransactionComponent::Scan(
         return s;
       }
     }
+    if (options_.scan_streaming) {
+      // Partition locks already cover the whole range: the read is one
+      // streamed request with chunked replies instead of one blocking
+      // ScanRange round trip per window.
+      return StreamScan(table, from, to, limit, ReadFlavor::kOwn,
+                        [&](const std::string& k, const std::string& v) {
+                          out->emplace_back(k, v);
+                          return limit == 0 || out->size() < limit;
+                        });
+    }
     std::string resume = from;
     bool skip_equal = false;
     for (;;) {
@@ -761,18 +935,30 @@ Status TransactionComponent::Scan(
     }
   }
 
-  // §3.1 "Fetch ahead protocol".
+  // §3.1 "Fetch ahead protocol", pipelined: the probe for window k+1 is
+  // submitted as soon as window k's fencepost is known, so its round
+  // trip overlaps the locking and validated read of window k — one
+  // blocking wait per window instead of two.
   std::string resume = from;
   bool skip_equal = false;
-  for (int round = 0; round < 100000; ++round) {
-    // 1. Speculative probe for the next window of keys.
+  Status probe_error = Status::Crashed("tc is down");
+  auto submit_probe = [&](const std::string& key) {
     OperationRequest probe;
     probe.op = OpType::kProbeNext;
     probe.table_id = table;
-    probe.key = resume;
+    probe.key = key;
     probe.limit = options_.fetch_ahead_batch + 1;
     stats_.probes.fetch_add(1);
-    StatusOr<OperationReply> probed = ExecuteOp(probe, txn);
+    return SubmitOp(probe, txn, TcLogRecordType::kOperation, kInvalidLsn,
+                    /*pipelined=*/false, &probe_error);
+  };
+  std::shared_ptr<OutstandingOp> probe_op = submit_probe(resume);
+  for (int round = 0; round < 100000; ++round) {
+    // 1. Await the (possibly prefetched) probe for this window.
+    if (!probe_op) return probe_error;
+    if (probe_op->completed) stats_.scan_prefetch_hits.fetch_add(1);
+    StatusOr<OperationReply> probed = AwaitOp(probe_op);
+    probe_op = nullptr;
     if (!probed.ok()) return probed.status();
     if (!probed->status.ok()) return probed->status;
 
@@ -787,6 +973,14 @@ Status TransactionComponent::Scan(
         fencepost = k;
         break;
       }
+    }
+
+    // Prefetch window k+1's probe now; it flies while this window is
+    // locked and validated below. (An early return — limit reached or a
+    // lock denial — orphans the in-flight probe harmlessly: its reply is
+    // absorbed and sealed by the normal reply path.)
+    if (!fencepost.empty() && options_.scan_streaming) {
+      probe_op = submit_probe(fencepost);
     }
 
     // 2. Lock the window keys (+ fencepost or EOF for phantom safety).
@@ -863,6 +1057,9 @@ Status TransactionComponent::Scan(
     if (fencepost.empty()) return Status::OK();  // covered to the end
     resume = fencepost;
     skip_equal = false;  // the fencepost record itself is not yet emitted
+    // Non-pipelined mode submits the next probe only now (the blocking
+    // baseline: submit + await back to back).
+    if (!probe_op) probe_op = submit_probe(resume);
   }
   return Status::Busy("scan validation kept racing");
 }
@@ -902,6 +1099,15 @@ Status TransactionComponent::ScanShared(
     uint32_t limit, ReadFlavor flavor,
     std::vector<std::pair<std::string, std::string>>* out) {
   out->clear();
+  if (options_.scan_streaming) {
+    // One kScanStream request per range; the DC streams chunked replies
+    // while the TC consumes — no per-window blocking round trips.
+    return StreamScan(table, from, to, limit, flavor,
+                      [&](const std::string& k, const std::string& v) {
+                        out->emplace_back(k, v);
+                        return limit == 0 || out->size() < limit;
+                      });
+  }
   std::string resume = from;
   bool skip_equal = false;
   for (;;) {
@@ -956,6 +1162,10 @@ Status TransactionComponent::Commit(TxnId txn) {
   // Log force for durability (§4.1.1(4)); read-only txns skip the force.
   if (!state.undo_chain.empty()) {
     if (options_.group_commit) {
+      // Wake the forcer now instead of waiting out its interval tick —
+      // sub-millisecond group-commit windows stay sub-millisecond.
+      stats_.group_commit_wakes.fetch_add(1);
+      group_commit_daemon_.Poke();
       if (!log_.WaitStableThrough(commit_index, options_.commit_timeout_ms)) {
         return Status::TimedOut("group commit force did not complete");
       }
@@ -982,16 +1192,59 @@ Status TransactionComponent::Commit(TxnId txn) {
 Status TransactionComponent::FinishVersionedCommit(
     TxnId txn,
     const std::vector<std::pair<TableId, std::string>>& written_keys) {
+  if (crashed_.load()) return Status::Crashed("tc is down");
+  // §6.2.2, batched: a K-key commit ships its kPromoteVersion ops as
+  // ordered kOperationBatch messages — ceil(K / promote_batch_ops)
+  // round trips per DC instead of one blocking trip per key. Each
+  // promote still reserves its own LSN and seals a normal operation
+  // record, so DC-crash redo resends them and repeated TC restarts stay
+  // idempotent.
   std::set<std::pair<TableId, std::string>> seen;
+  std::map<DcId, std::vector<std::pair<TableId, std::string>>> per_dc;
   for (const auto& [table, key] : written_keys) {
     if (!seen.insert({table, key}).second) continue;
-    OperationRequest req;
-    req.op = OpType::kPromoteVersion;
-    req.table_id = table;
-    req.key = key;
-    StatusOr<OperationReply> reply = ExecuteOp(req, txn);
-    if (!reply.ok()) return reply.status();
-    if (!reply->status.ok()) return reply->status;
+    per_dc[Route(table, key)].emplace_back(table, key);
+  }
+  const size_t batch_cap = std::max<uint32_t>(1, options_.promote_batch_ops);
+  for (auto& [dc, keys] : per_dc) {
+    for (size_t base = 0; base < keys.size(); base += batch_cap) {
+      const size_t count = std::min(batch_cap, keys.size() - base);
+      std::vector<OperationRequest> chunk;
+      std::vector<std::shared_ptr<OutstandingOp>> ops;
+      chunk.reserve(count);
+      ops.reserve(count);
+      {
+        std::lock_guard<std::mutex> guard(out_mu_);
+        const auto now = std::chrono::steady_clock::now();
+        for (size_t k = base; k < base + count; ++k) {
+          OperationRequest req;
+          req.op = OpType::kPromoteVersion;
+          req.table_id = keys[k].first;
+          req.key = keys[k].second;
+          req.tc_id = options_.tc_id;
+          req.lsn = log_.Reserve() + 1;
+          auto op = std::make_shared<OutstandingOp>();
+          op->request = req;
+          op->txn = txn;
+          op->dc = dc;
+          op->last_send = now;
+          outstanding_[req.lsn] = op;
+          chunk.push_back(std::move(req));
+          ops.push_back(std::move(op));
+        }
+      }
+      stats_.ops_sent.fetch_add(chunk.size());
+      stats_.promote_ops.fetch_add(chunk.size());
+      stats_.promote_batches.fetch_add(1);
+      ClientFor(dc)->SendOperationBatch(chunk);
+      // Await the whole batch; a lost message is recovered per op by the
+      // resend daemon (promotes are idempotent at the DC).
+      for (const auto& op : ops) {
+        StatusOr<OperationReply> reply = AwaitOp(op);
+        if (!reply.ok()) return reply.status();
+        if (!reply->status.ok()) return reply->status;
+      }
+    }
   }
   TcLogRecord end;
   end.type = TcLogRecordType::kTxnEnd;
@@ -1160,6 +1413,15 @@ void TransactionComponent::Crash() {
       pending->done.Notify();
     }
     pending_controls_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> guard(stream_mu_);
+    for (auto& [id, stream] : streams_) {
+      std::lock_guard<std::mutex> stream_guard(stream->mu);
+      stream->failed = true;
+      stream->cv.notify_all();
+    }
+    streams_.clear();
   }
   {
     std::lock_guard<std::mutex> guard(txn_mu_);
@@ -1470,6 +1732,11 @@ Status TransactionComponent::Restart(std::vector<TcId>* escalate_out) {
     *escalate_out = std::move(escalate);
   }
   return Status::OK();
+}
+
+void TransactionComponent::OnDcCrash(DcId dc) {
+  std::lock_guard<std::mutex> guard(out_mu_);
+  dc_recovering_[dc] = true;
 }
 
 Status TransactionComponent::OnDcRestart(DcId dc) {

@@ -91,10 +91,27 @@ struct TcOptions {
   /// most this many operations per DC round trip (1 = the sequential
   /// one-op-per-trip protocol).
   uint32_t recovery_batch_ops = 64;
+  /// Commit-time version promotion (§6.2.2) ships kPromoteVersion ops as
+  /// kOperationBatch messages of at most this many per DC round trip, so
+  /// a K-key versioned commit costs ceil(K / promote_batch_ops) messages
+  /// instead of K (1 = the old one-blocking-trip-per-key protocol).
+  uint32_t promote_batch_ops = 64;
+  /// Streamed scan windows: ScanShared and partition-protocol scans open
+  /// one kScanStream request per range (chunked replies) instead of one
+  /// blocking ScanRange round trip per window, and fetch-ahead scans
+  /// prefetch the next probe while locking/validating the current
+  /// window. Off = the per-window blocking protocol (the comparison
+  /// baseline in benches).
+  bool scan_streaming = true;
+  /// Rows per streamed-scan chunk (0 = the DC default).
+  uint32_t scan_stream_chunk = 128;
   /// Fetch-ahead protocol: inserts probe and instant-lock the next key so
   /// serializable scans are phantom-safe. Costs one probe per insert.
   bool insert_phantom_protection = true;
   bool group_commit = false;
+  /// Idle backstop cadence of the group-commit forcer (clamped to >=
+  /// 1ms). Committers wake the forcer on demand, so commit latency does
+  /// NOT depend on this interval.
   uint32_t group_commit_interval_us = 200;
   StableLogOptions log;
   /// Tests may drive resend/control pushes by hand.
@@ -121,6 +138,24 @@ struct TcStats {
   std::atomic<uint64_t> recovery_resent_ops{0};
   /// Wire messages that carried them — with batching, msgs << ops.
   std::atomic<uint64_t> recovery_resend_msgs{0};
+  /// Streamed scans opened (one request message each per attempt).
+  std::atomic<uint64_t> scan_streams{0};
+  /// In-order chunks consumed and rows they delivered.
+  std::atomic<uint64_t> scan_chunks{0};
+  std::atomic<uint64_t> scan_rows{0};
+  /// Stream re-issues after a lost/late chunk (resume from last key).
+  std::atomic<uint64_t> scan_restarts{0};
+  /// Fetch-ahead scans: the prefetched next-window probe had already
+  /// completed when awaited — the probe round trip fully overlapped the
+  /// lock/validate work of the previous window.
+  std::atomic<uint64_t> scan_prefetch_hits{0};
+  /// Commit-time version promotion: ops shipped and the batch messages
+  /// that carried them (msgs = ceil(K / promote_batch_ops) per commit).
+  std::atomic<uint64_t> promote_ops{0};
+  std::atomic<uint64_t> promote_batches{0};
+  /// Group-commit forcer wakeups triggered on demand by a waiting
+  /// committer (vs the periodic interval tick).
+  std::atomic<uint64_t> group_commit_wakes{0};
 };
 
 struct DcBinding {
@@ -242,6 +277,11 @@ class TransactionComponent {
   /// multi-TC page resets (§6.1.2).
   Status Restart(std::vector<TcId>* escalate_out = nullptr);
 
+  /// A DC went down: hold resends and streamed-scan attempts to it until
+  /// OnDcRestart finishes the redo — a scan slipping in mid-redo would
+  /// read a partially re-populated tree and silently end early.
+  void OnDcCrash(DcId dc);
+
   /// A DC crashed and has been recovered (structures well-formed):
   /// redo-resend every logged operation from the RSSP routed to it.
   Status OnDcRestart(DcId dc);
@@ -343,6 +383,30 @@ class TransactionComponent {
 
   void OnOperationReply(const OperationReply& reply);
   void OnControlReply(const ControlReply& reply);
+  void OnScanChunk(const ScanStreamChunk& chunk);
+
+  /// One open streamed scan: chunks are buffered by index and consumed
+  /// in order; the channel may reorder, duplicate or drop them.
+  struct ScanStream {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<uint32_t, ScanStreamChunk> chunks;
+    uint32_t next_index = 0;
+    bool failed = false;  // TC crashed; waiters must give up
+  };
+
+  /// Drives one streamed scan over [from, to) at the routed DC,
+  /// delivering rows in order to `emit_row` (return false to stop, e.g.
+  /// at a row limit). Exactly-once per stable key: a lost or late chunk
+  /// re-issues the stream from the last delivered key, and keys at or
+  /// below it are filtered — so duplicated stream executions interleave
+  /// safely. Blocks like the windowed protocol did, but costs one
+  /// request message per attempt instead of one per window.
+  Status StreamScan(
+      TableId table, const std::string& from, const std::string& to,
+      uint32_t limit, ReadFlavor flavor,
+      const std::function<bool(const std::string&, const std::string&)>&
+          emit_row);
 
   /// Sends a control request and waits for the ack.
   StatusOr<ControlReply> ControlAwait(DcId dc, ControlRequest req,
@@ -397,6 +461,10 @@ class TransactionComponent {
   /// window. Signaled whenever a pipelined op completes.
   std::map<std::pair<TxnId, DcId>, uint32_t> window_counts_;
   std::condition_variable window_cv_;
+
+  std::mutex stream_mu_;
+  std::map<uint64_t, std::shared_ptr<ScanStream>> streams_;
+  std::atomic<uint64_t> next_stream_id_{1};
 
   std::mutex control_mu_;
   uint64_t next_control_seq_ = 1;

@@ -20,7 +20,9 @@ class RepeatingThread {
   RepeatingThread(const RepeatingThread&) = delete;
   RepeatingThread& operator=(const RepeatingThread&) = delete;
 
-  void Start(std::chrono::milliseconds interval, std::function<void()> fn) {
+  /// Interval is microsecond-granular: sub-millisecond cadences (e.g. a
+  /// group-commit window of 200µs) must not silently round up to 1ms.
+  void Start(std::chrono::microseconds interval, std::function<void()> fn) {
     Stop();
     {
       std::lock_guard<std::mutex> guard(mu_);
@@ -65,7 +67,7 @@ class RepeatingThread {
   std::mutex mu_;
   std::condition_variable cv_;
   std::thread thread_;
-  std::chrono::milliseconds interval_{10};
+  std::chrono::microseconds interval_{10000};
   std::function<void()> fn_;
   bool stop_ = false;
   bool poked_ = false;

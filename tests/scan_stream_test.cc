@@ -1,0 +1,350 @@
+// Streamed scan windows + batched version promotion (PR 3 tentpole):
+// the kScanStream wire format, chunked delivery over the channel
+// transport (one request message per stream instead of one blocking
+// round trip per window), fetch-ahead probe prefetching, the
+// ceil(K / promote_batch_ops) promote-message collapse at versioned
+// commit, adaptive coalescing, and per-DC channel option overrides.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dc/dc_api.h"
+#include "kernel/unbundled_db.h"
+
+namespace untx {
+namespace {
+
+constexpr TableId kTable = 1;
+
+std::string Key(int i) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "k%06d", i);
+  return buf;
+}
+
+TEST(ScanStreamWireTest, RequestRoundTrip) {
+  ScanStreamRequest req;
+  req.base.tc_id = 3;
+  req.base.lsn = 77;  // stream id
+  req.base.op = OpType::kScanRange;
+  req.base.table_id = kTable;
+  req.base.key = "from";
+  req.base.end_key = "to";
+  req.base.limit = 500;
+  req.base.read_flavor = ReadFlavor::kReadCommitted;
+  req.base.exclusive_start = true;
+  req.chunk_rows = 32;
+
+  std::string buf;
+  req.EncodeTo(&buf);
+  Slice in(buf);
+  ScanStreamRequest out;
+  ASSERT_TRUE(ScanStreamRequest::DecodeFrom(&in, &out));
+  EXPECT_TRUE(in.empty());
+  EXPECT_EQ(out.base.tc_id, 3);
+  EXPECT_EQ(out.base.lsn, 77u);
+  EXPECT_EQ(out.base.key, "from");
+  EXPECT_EQ(out.base.end_key, "to");
+  EXPECT_EQ(out.base.limit, 500u);
+  EXPECT_EQ(out.base.read_flavor, ReadFlavor::kReadCommitted);
+  EXPECT_TRUE(out.base.exclusive_start);
+  EXPECT_EQ(out.chunk_rows, 32u);
+}
+
+TEST(ScanStreamWireTest, ChunkRoundTripAndTruncation) {
+  ScanStreamChunk chunk;
+  chunk.tc_id = 2;
+  chunk.stream_id = 99;
+  chunk.chunk_index = 4;
+  chunk.done = true;
+  chunk.resume_key = "prev-last";
+  chunk.resume_exclusive = true;
+  chunk.status = Status::OK();
+  chunk.keys = {"a", "bb"};
+  chunk.values = {"1", "22"};
+
+  std::string buf;
+  chunk.EncodeTo(&buf);
+  {
+    Slice in(buf);
+    ScanStreamChunk out;
+    ASSERT_TRUE(ScanStreamChunk::DecodeFrom(&in, &out));
+    EXPECT_TRUE(in.empty());
+    EXPECT_EQ(out.tc_id, 2);
+    EXPECT_EQ(out.stream_id, 99u);
+    EXPECT_EQ(out.chunk_index, 4u);
+    EXPECT_TRUE(out.done);
+    EXPECT_EQ(out.resume_key, "prev-last");
+    EXPECT_TRUE(out.resume_exclusive);
+    EXPECT_TRUE(out.status.ok());
+    EXPECT_EQ(out.keys, (std::vector<std::string>{"a", "bb"}));
+    EXPECT_EQ(out.values, (std::vector<std::string>{"1", "22"}));
+  }
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    Slice in(buf.data(), cut);
+    ScanStreamChunk out;
+    EXPECT_FALSE(ScanStreamChunk::DecodeFrom(&in, &out)) << "cut=" << cut;
+  }
+}
+
+TEST(ScanStreamWireTest, ExclusiveStartHonoredByDoScan) {
+  UnbundledDbOptions options;
+  options.tc.insert_phantom_protection = false;
+  auto db = std::move(UnbundledDb::Open(options)).ValueOrDie();
+  ASSERT_TRUE(db->CreateTable(kTable).ok());
+  for (int i = 0; i < 4; ++i) {
+    Txn txn(db->tc());
+    ASSERT_TRUE(txn.Insert(kTable, Key(i), "v").ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  OperationRequest req;
+  req.tc_id = 1;
+  req.lsn = 1000;
+  req.op = OpType::kScanRange;
+  req.table_id = kTable;
+  req.key = Key(1);
+  req.limit = 10;
+  OperationReply inclusive = db->dc(0)->Perform(req);
+  ASSERT_TRUE(inclusive.status.ok());
+  ASSERT_EQ(inclusive.keys.size(), 3u);
+  EXPECT_EQ(inclusive.keys[0], Key(1));
+  req.lsn = 1001;
+  req.exclusive_start = true;
+  OperationReply exclusive = db->dc(0)->Perform(req);
+  ASSERT_TRUE(exclusive.status.ok());
+  ASSERT_EQ(exclusive.keys.size(), 2u);
+  EXPECT_EQ(exclusive.keys[0], Key(2));
+}
+
+std::unique_ptr<UnbundledDb> OpenChannelDb(bool streaming,
+                                           uint32_t chunk_rows = 8) {
+  UnbundledDbOptions options;
+  options.transport = TransportKind::kChannel;
+  options.tc.control_interval_ms = 5;
+  options.tc.resend_interval_ms = 50;
+  options.tc.insert_phantom_protection = false;
+  options.tc.scan_streaming = streaming;
+  options.tc.scan_stream_chunk = chunk_rows;
+  auto db = std::move(UnbundledDb::Open(options)).ValueOrDie();
+  EXPECT_TRUE(db->CreateTable(kTable).ok());
+  return db;
+}
+
+void LoadRows(UnbundledDb* db, int n) {
+  for (int base = 0; base < n; base += 32) {
+    Txn txn(db->tc());
+    for (int i = base; i < std::min(n, base + 32); ++i) {
+      txn.InsertAsync(kTable, Key(i), "v" + std::to_string(i));
+    }
+    ASSERT_TRUE(txn.Flush().ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+}
+
+// The headline collapse: a scan spanning W windows costs ONE scan
+// request message (plus chunked replies), not W blocking round trips.
+TEST(ScanStreamTest, SharedScanCostsOneRequestForManyWindows) {
+  auto db = OpenChannelDb(/*streaming=*/true, /*chunk_rows=*/8);
+  constexpr int kRows = 100;  // 13 chunks of 8
+  LoadRows(db.get(), kRows);
+
+  const uint64_t scan_msgs_before = db->channel(0)->scan_messages();
+  std::vector<std::pair<std::string, std::string>> rows;
+  ASSERT_TRUE(db->tc()
+                  ->ScanShared(kTable, "", "", 0, ReadFlavor::kDirty, &rows)
+                  .ok());
+  ASSERT_EQ(rows.size(), static_cast<size_t>(kRows));
+  for (int i = 0; i < kRows; ++i) {
+    EXPECT_EQ(rows[i].first, Key(i));
+    EXPECT_EQ(rows[i].second, "v" + std::to_string(i));
+  }
+  // One stream request on a loss-free channel; >= 13 chunk replies.
+  EXPECT_EQ(db->channel(0)->scan_messages() - scan_msgs_before, 1u);
+  EXPECT_GE(db->channel(0)->scan_chunks(), 13u);
+  EXPECT_GE(db->channel(0)->scan_rows_carried(),
+            static_cast<uint64_t>(kRows));
+  EXPECT_EQ(db->tc()->stats().scan_streams.load(), 1u);
+  EXPECT_EQ(db->tc()->stats().scan_restarts.load(), 0u);
+  EXPECT_EQ(db->tc()->stats().scan_rows.load(),
+            static_cast<uint64_t>(kRows));
+}
+
+TEST(ScanStreamTest, StreamedAndBlockingScansAgree) {
+  auto streamed = OpenChannelDb(/*streaming=*/true);
+  auto blocking = OpenChannelDb(/*streaming=*/false);
+  LoadRows(streamed.get(), 50);
+  LoadRows(blocking.get(), 50);
+
+  for (auto* db : {streamed.get(), blocking.get()}) {
+    std::vector<std::pair<std::string, std::string>> shared_rows;
+    ASSERT_TRUE(db->tc()
+                    ->ScanShared(kTable, Key(5), Key(45), 0,
+                                 ReadFlavor::kDirty, &shared_rows)
+                    .ok());
+    ASSERT_EQ(shared_rows.size(), 40u);
+    EXPECT_EQ(shared_rows.front().first, Key(5));
+    EXPECT_EQ(shared_rows.back().first, Key(44));
+
+    // Limited scan stops exactly at the limit.
+    std::vector<std::pair<std::string, std::string>> limited;
+    ASSERT_TRUE(db->tc()
+                    ->ScanShared(kTable, "", "", 17, ReadFlavor::kDirty,
+                                 &limited)
+                    .ok());
+    EXPECT_EQ(limited.size(), 17u);
+
+    // Serializable fetch-ahead scan (prefetching when streaming).
+    Txn txn(db->tc());
+    std::vector<std::pair<std::string, std::string>> txn_rows;
+    ASSERT_TRUE(txn.Scan(kTable, Key(10), Key(30), 0, &txn_rows).ok());
+    ASSERT_EQ(txn_rows.size(), 20u);
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+}
+
+// Partition-protocol transactional scans ride the stream too.
+TEST(ScanStreamTest, PartitionProtocolScanStreams) {
+  UnbundledDbOptions options;
+  options.transport = TransportKind::kChannel;
+  options.tc.control_interval_ms = 5;
+  options.tc.insert_phantom_protection = false;
+  options.tc.range_protocol = RangeLockProtocol::kPartition;
+  options.tc.scan_stream_chunk = 8;
+  auto db = std::move(UnbundledDb::Open(options)).ValueOrDie();
+  ASSERT_TRUE(db->CreateTable(kTable).ok());
+  LoadRows(db.get(), 60);
+
+  const uint64_t scan_msgs_before = db->channel(0)->scan_messages();
+  Txn txn(db->tc());
+  std::vector<std::pair<std::string, std::string>> rows;
+  ASSERT_TRUE(txn.Scan(kTable, "", "", 0, &rows).ok());
+  ASSERT_TRUE(txn.Commit().ok());
+  ASSERT_EQ(rows.size(), 60u);
+  EXPECT_EQ(db->channel(0)->scan_messages() - scan_msgs_before, 1u);
+}
+
+// The prefetched next-window probe overlaps the current window's lock +
+// validated read: with any real channel delay it has always completed
+// by the time it is awaited.
+TEST(ScanStreamTest, FetchAheadPrefetchOverlapsValidation) {
+  UnbundledDbOptions options;
+  options.transport = TransportKind::kChannel;
+  options.channel.request_channel.min_delay_us = 200;
+  options.channel.request_channel.max_delay_us = 400;
+  options.channel.reply_channel.min_delay_us = 200;
+  options.channel.reply_channel.max_delay_us = 400;
+  options.tc.control_interval_ms = 5;
+  options.tc.insert_phantom_protection = false;
+  options.tc.fetch_ahead_batch = 8;
+  auto db = std::move(UnbundledDb::Open(options)).ValueOrDie();
+  ASSERT_TRUE(db->CreateTable(kTable).ok());
+  LoadRows(db.get(), 80);  // 10 windows of 8
+
+  Txn txn(db->tc());
+  std::vector<std::pair<std::string, std::string>> rows;
+  ASSERT_TRUE(txn.Scan(kTable, "", "", 0, &rows).ok());
+  ASSERT_TRUE(txn.Commit().ok());
+  ASSERT_EQ(rows.size(), 80u);
+  // 10 windows => 9 prefetched probes; the probe's round trip fully
+  // overlaps >= one validated-read round trip, so hits are certain.
+  EXPECT_GT(db->tc()->stats().scan_prefetch_hits.load(), 0u);
+}
+
+// §6.2.2 batched: K written keys promote in ceil(K / promote_batch_ops)
+// wire messages, not K — asserted via the transport's promote counters.
+TEST(ScanStreamTest, VersionedCommitBatchesPromotes) {
+  UnbundledDbOptions options;
+  options.transport = TransportKind::kChannel;
+  options.tc.control_interval_ms = 5;
+  options.tc.resend_interval_ms = 1000;  // keep resends out of the count
+  options.tc.insert_phantom_protection = false;
+  options.tc.versioning = true;
+  options.tc.promote_batch_ops = 4;
+  auto db = std::move(UnbundledDb::Open(options)).ValueOrDie();
+  ASSERT_TRUE(db->CreateTable(kTable).ok());
+
+  constexpr int kKeys = 10;  // ceil(10 / 4) = 3 promote messages
+  {
+    Txn txn(db->tc());
+    for (int i = 0; i < kKeys; ++i) {
+      txn.UpsertAsync(kTable, Key(i), "committed" + std::to_string(i));
+    }
+    ASSERT_TRUE(txn.Flush().ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  EXPECT_EQ(db->tc()->stats().promote_ops.load(),
+            static_cast<uint64_t>(kKeys));
+  EXPECT_EQ(db->tc()->stats().promote_batches.load(), 3u);
+  EXPECT_EQ(db->channel(0)->promote_messages(), 3u);
+  EXPECT_EQ(db->channel(0)->promote_ops_carried(),
+            static_cast<uint64_t>(kKeys));
+
+  // The promotes really landed: read-committed sees the new values.
+  for (int i = 0; i < kKeys; ++i) {
+    std::string value;
+    ASSERT_TRUE(db->tc()
+                    ->ReadShared(kTable, Key(i),
+                                 ReadFlavor::kReadCommitted, &value)
+                    .ok());
+    EXPECT_EQ(value, "committed" + std::to_string(i));
+  }
+}
+
+// Adaptive coalescing: a queued op whose submitter goes quiescent is
+// flushed by the idle rule — long before the fixed-window worst case.
+TEST(ScanStreamTest, AdaptiveCoalescingFlushesOnQuiescence) {
+  UnbundledDbOptions options;
+  options.transport = TransportKind::kChannel;
+  options.tc.control_interval_ms = 100;
+  options.tc.insert_phantom_protection = false;
+  options.channel.coalesce_policy = CoalescePolicy::kAdaptive;
+  options.channel.coalesce_idle_us = 25;
+  options.channel.coalesce_max_delay_us = 250;
+  auto db = std::move(UnbundledDb::Open(options)).ValueOrDie();
+  ASSERT_TRUE(db->CreateTable(kTable).ok());
+
+  Txn txn(db->tc());
+  const uint64_t msgs_before = db->channel(0)->op_messages();
+  txn.InsertAsync(kTable, Key(0), "v");  // queued, never explicitly flushed
+  // The flusher must push it out on its own within a few milliseconds.
+  for (int spin = 0; spin < 500; ++spin) {
+    if (db->channel(0)->op_messages() > msgs_before) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(db->channel(0)->op_messages(), msgs_before);
+  EXPECT_GT(db->channel(0)->coalesce_idle_flushes() +
+                db->channel(0)->coalesce_deadline_flushes(),
+            0u);
+  ASSERT_TRUE(txn.Flush().ok());
+  ASSERT_TRUE(txn.Commit().ok());
+}
+
+// Per-DC channel overrides through ClusterOptions: each binding gets the
+// options of its DC.
+TEST(ScanStreamTest, PerDcChannelOverrides) {
+  ClusterOptions options;
+  options.num_dcs = 2;
+  options.transport = TransportKind::kChannel;
+  options.channel.max_batch_ops = 64;
+  options.channel.coalesce_policy = CoalescePolicy::kAdaptive;
+  ChannelTransportOptions far_dc = options.channel;
+  far_dc.max_batch_ops = 7;
+  far_dc.coalesce_policy = CoalescePolicy::kFixedWindow;
+  far_dc.coalesce_window_us = 500;
+  options.channel_overrides[1] = far_dc;
+  auto cluster = std::move(Cluster::Open(options)).ValueOrDie();
+  ASSERT_NE(cluster->channel(0, 0), nullptr);
+  ASSERT_NE(cluster->channel(0, 1), nullptr);
+  EXPECT_EQ(cluster->channel(0, 0)->options().max_batch_ops, 64u);
+  EXPECT_EQ(cluster->channel(0, 0)->options().coalesce_policy,
+            CoalescePolicy::kAdaptive);
+  EXPECT_EQ(cluster->channel(0, 1)->options().max_batch_ops, 7u);
+  EXPECT_EQ(cluster->channel(0, 1)->options().coalesce_policy,
+            CoalescePolicy::kFixedWindow);
+  EXPECT_EQ(cluster->channel(0, 1)->options().coalesce_window_us, 500u);
+}
+
+}  // namespace
+}  // namespace untx
