@@ -201,10 +201,74 @@ void BM_TxnScanChannel(benchmark::State& state) {
   state.counters["prefetch_hits/op"] = benchmark::Counter(
       static_cast<double>(db->tc()->stats().scan_prefetch_hits.load()),
       benchmark::Counter::kAvgIterations);
+  // PR 4: the streamed fetch-ahead fold sends NO operation messages —
+  // probes and validated reads both ride the stream cursor.
+  state.counters["op_msgs"] = static_cast<double>(
+      db->channel(0)->op_messages());
+  state.counters["credit_msgs"] = static_cast<double>(
+      db->channel(0)->scan_credit_messages());
 }
 BENCHMARK(BM_TxnScanChannel)
     ->Arg(0)
     ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// ---- Scan flow-control arm (PR 4) -------------------------------------------
+//
+// Eager push vs credited streams: the credit window bounds how many
+// chunks the DC may run ahead of the TC cursor, so the reply channel's
+// peak scan residency (max_queued_scan_bytes) stays at credit x chunk
+// size instead of growing with the whole result. arg0: credit window in
+// chunks (0 = eager push, the PR 3 behavior).
+
+std::unique_ptr<UnbundledDb> MakeCreditScanDb(uint32_t credit) {
+  UnbundledDbOptions options = DefaultDbOptions();
+  options.transport = TransportKind::kChannel;
+  // Latency makes channel residency visible: chunks sit in flight.
+  options.channel.reply_channel.min_delay_us = 150;
+  options.channel.reply_channel.max_delay_us = 300;
+  options.tc.scan_stream_chunk = 64;
+  options.tc.scan_credit_chunks = credit;
+  auto db = std::move(UnbundledDb::Open(options)).ValueOrDie();
+  db->CreateTable(kTable);
+  for (int base = 0; base < kChannelRows; base += 64) {
+    Txn txn(db->tc());
+    for (int i = base; i < std::min(kChannelRows, base + 64); ++i) {
+      txn.InsertAsync(kTable, Key(i), "payload-0123456789");
+    }
+    txn.Flush();
+    txn.Commit();
+  }
+  return db;
+}
+
+void BM_SharedScanCreditWindow(benchmark::State& state) {
+  const uint32_t credit = static_cast<uint32_t>(state.range(0));
+  auto db = MakeCreditScanDb(credit);
+  uint64_t rows_returned = 0;
+  for (auto _ : state) {
+    std::vector<std::pair<std::string, std::string>> rows;
+    db->tc()->ScanShared(kTable, "", "", 0, ReadFlavor::kDirty, &rows);
+    rows_returned += rows.size();
+  }
+  state.counters["rows/op"] = benchmark::Counter(
+      static_cast<double>(rows_returned), benchmark::Counter::kAvgIterations);
+  state.counters["peak_queued_bytes"] = static_cast<double>(
+      db->channel(0)->max_queued_scan_bytes());
+  state.counters["credit_msgs/op"] = benchmark::Counter(
+      static_cast<double>(db->channel(0)->scan_credit_messages()),
+      benchmark::Counter::kAvgIterations);
+  state.counters["dc_pauses"] = static_cast<double>(
+      db->dc(0)->stats().scan_stream_pauses.load());
+  state.counters["cursor_hint_hits"] = static_cast<double>(
+      db->dc(0)->stats().scan_cursor_hint_hits.load());
+}
+BENCHMARK(BM_SharedScanCreditWindow)
+    ->Arg(0)   // eager push
+    ->Arg(2)   // tightest practical window
+    ->Arg(8)
+    ->Arg(32)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

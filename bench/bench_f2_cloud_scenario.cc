@@ -41,6 +41,7 @@ class WireCounters {
         ops_before_(cluster->TotalOpsCarried()),
         scan_msgs_before_(cluster->TotalScanMessages()),
         scan_rows_before_(cluster->TotalScanRowsCarried()),
+        scan_credit_msgs_before_(cluster->TotalScanCreditMessages()),
         promote_msgs_before_(cluster->TotalPromoteMessages()),
         promote_ops_before_(cluster->TotalPromoteOpsCarried()) {}
 
@@ -68,6 +69,12 @@ class WireCounters {
         static_cast<double>(cluster_->TotalScanRowsCarried() -
                             scan_rows_before_) /
         iters;
+    state.counters["scan_credit_msgs/op"] =
+        static_cast<double>(cluster_->TotalScanCreditMessages() -
+                            scan_credit_msgs_before_) /
+        iters;
+    state.counters["peak_queued_scan_bytes"] =
+        static_cast<double>(cluster_->MaxQueuedScanBytes());
   }
 
   /// Batched commit-time version promotion: messages vs ops carried.
@@ -90,6 +97,7 @@ class WireCounters {
   uint64_t ops_before_;
   uint64_t scan_msgs_before_;
   uint64_t scan_rows_before_;
+  uint64_t scan_credit_msgs_before_;
   uint64_t promote_msgs_before_;
   uint64_t promote_ops_before_;
 };

@@ -11,7 +11,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR3.json}"
+OUT="${1:-BENCH_PR4.json}"
 BUILD_DIR="${BUILD_DIR:-build-bench}"
 BENCHES=(bench_c1_range_locking bench_c9_logging bench_c10_pipelining
          bench_f2_cloud_scenario)

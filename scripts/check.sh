@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verify with warnings on: configure, build, ctest.
-# Usage: scripts/check.sh [--asan] [extra cmake args...]
+# Usage: scripts/check.sh [--asan|--tsan] [extra cmake args...]
 #   --asan  build and test under ASan+UBSan (its own build dir), so the
 #           concurrent multi-TC / channel paths are sanitizer-checked.
+#   --tsan  build and test under ThreadSanitizer (its own build dir) —
+#           the scan-stream credit/cursor machinery, server threads and
+#           resend daemons are data-race-checked end to end.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,6 +17,12 @@ if [[ "${1:-}" == "--asan" ]]; then
   SAN="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
   CXX_FLAGS="$CXX_FLAGS $SAN"
   LINK_FLAGS="$SAN"
+elif [[ "${1:-}" == "--tsan" ]]; then
+  shift
+  BUILD_DIR="${BUILD_DIR:-build-tsan}"
+  SAN="-fsanitize=thread -fno-omit-frame-pointer -O1 -g"
+  CXX_FLAGS="$CXX_FLAGS $SAN"
+  LINK_FLAGS="-fsanitize=thread"
 else
   BUILD_DIR="${BUILD_DIR:-build-check}"
 fi

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <thread>
 
 #include "common/coding.h"
@@ -10,6 +13,12 @@
 namespace untx {
 
 namespace {
+
+/// Recovery-path tracing (chaos-test forensics): set UNTX_TRACE=1.
+bool TraceEnabled() {
+  static const bool enabled = getenv("UNTX_TRACE") != nullptr;
+  return enabled;
+}
 
 std::string SentinelKey(TableId table, const std::string& key) {
   std::string out;
@@ -78,6 +87,12 @@ void DataComponent::Crash() {
     std::lock_guard<std::mutex> guard(sentinel_mu_);
     in_flight_.clear();
   }
+  {
+    // Every TC's next redo pass starts fresh against the reverted state.
+    std::lock_guard<std::mutex> guard(redo_mu_);
+    redo_fresh_max_.clear();
+  }
+  ClearScanCursors();
 }
 
 void DataComponent::Restore() { crashed_.store(false); }
@@ -104,11 +119,29 @@ OperationReply DataComponent::Perform(const OperationRequest& req) {
     return reply;
   }
 
+  // Redo must repeat history IN ORDER: serialize recovery executions so
+  // a duplicated redo message can't interleave with the original on
+  // another server thread (recursive: the batch path already holds it).
+  std::unique_lock<std::recursive_mutex> recovery_serial;
+  if (req.recovery_resend) {
+    recovery_serial =
+        std::unique_lock<std::recursive_mutex>(recovery_serial_mu_);
+  }
+
   const bool is_write = IsWriteOp(req.op);
   if (is_write) {
     stats_.writes.fetch_add(1);
     // Fast idempotence path: a resend of an op whose reply we still have.
-    if (LookupReply(req.tc_id, req.lsn, &reply)) {
+    //
+    // NEVER for recovery resends: a redo stream re-establishes page
+    // state after a regression (DC crash revert, TC-reset page
+    // drop/merge), and the reply cache describes executions against the
+    // PRE-regression state. Worse, LWM pruning erases a cache PREFIX,
+    // so the cache can hold a CLR while the forward op it compensates
+    // is gone — answering the CLR from the cache while the forward op
+    // re-executes resurrects aborted writes. Redo is judged solely by
+    // the page abLSN, which is causally tied to the page content.
+    if (!req.recovery_resend && LookupReply(req.tc_id, req.lsn, &reply)) {
       stats_.reply_cache_hits.fetch_add(1);
       reply.was_duplicate = true;
       return reply;
@@ -214,7 +247,38 @@ OperationReply DataComponent::ApplyOnce(const OperationRequest& req,
   }
 
   // Idempotence test (§5.1.2): Operation LSN <= Page abLSN.
-  if (leaf->ablsn.Covers(req.tc_id, req.lsn)) {
+  bool covered = leaf->ablsn.Covers(req.tc_id, req.lsn);
+  const bool redo_in_progress =
+      req.recovery_resend && !pool_->LwmAllowed(req.tc_id);
+  if (covered && redo_in_progress) {
+    // Post-regression redo (the TC has not re-armed at this DC): page
+    // state was reverted, and a STALE coverage claim can be a
+    // split-copied / merge-unioned abLSN that legitimately over-covers
+    // keys whose effects the revert just discarded — trusting it would
+    // silently skip the re-establishment this redo exists for. Only
+    // coverage created by the current pass itself (a duplicated redo
+    // batch re-delivering lsns at or below the pass's high-water mark)
+    // is trusted; everything else re-executes. Redo re-execution is
+    // safe: the stream carries only logically-applied ops, in LSN
+    // order, and record writes are value-idempotent.
+    std::lock_guard<std::mutex> guard(redo_mu_);
+    auto it = redo_fresh_max_.find(req.tc_id);
+    if (it == redo_fresh_max_.end() || req.lsn > it->second) {
+      covered = false;
+      stats_.redo_stale_coverage_overrides.fetch_add(1);
+      if (TraceEnabled()) {
+        fprintf(stderr, "[dc] OVERRIDE tc=%u lsn=%llu t=%u key=%s pid=%u\n",
+                req.tc_id, (unsigned long long)req.lsn, req.table_id,
+                req.key.c_str(), leaf->pid);
+      }
+    }
+  }
+  if (covered) {
+    if (req.recovery_resend && TraceEnabled()) {
+      fprintf(stderr, "[dc] SKIP-COVERED tc=%u lsn=%llu t=%u key=%s pid=%u\n",
+              req.tc_id, (unsigned long long)req.lsn, req.table_id,
+              req.key.c_str(), leaf->pid);
+    }
     stats_.duplicate_hits.fetch_add(1);
     leaf->latch.UnlockExclusive();
     pool_->Unpin(leaf);
@@ -251,6 +315,14 @@ OperationReply DataComponent::ApplyOnce(const OperationRequest& req,
                                   reply.status.IsAlreadyExists();
   if (logical_completion) {
     leaf->ablsn.Add(req.tc_id, req.lsn);
+    if (redo_in_progress) {
+      // Advance the pass's high-water mark: lsns at or below it are now
+      // re-established, so a duplicated redo batch must not re-apply
+      // them over later re-executed ops.
+      std::lock_guard<std::mutex> guard(redo_mu_);
+      Lsn& fresh = redo_fresh_max_[req.tc_id];
+      if (req.lsn > fresh) fresh = req.lsn;
+    }
   }
   if (reply.status.ok()) {
     leaf->dirty = true;
@@ -562,6 +634,379 @@ OperationReply DataComponent::DoCreateTable(const OperationRequest& req) {
   return reply;
 }
 
+// ---- Credited scan streams with DC-side cursors (PR 4) -----------------------
+
+namespace {
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void DataComponent::ReadScanWindow(ScanCursor* cursor, std::string start,
+                                   bool start_exclusive,
+                                   const std::string& end_bound,
+                                   uint32_t max_rows, bool peek_next,
+                                   ScanStreamChunk* chunk, bool* exhausted) {
+  *exhausted = false;
+  chunk->status = Status::OK();
+  const bool probe = cursor->req.probe_rows;
+  const ReadFlavor flavor = cursor->req.base.read_flavor;
+  const TableId table = cursor->req.base.table_id;
+  // Probe windows read one extra physical key — the fencepost the TC
+  // locks for phantom safety — folded into next_key below.
+  const uint32_t target = max_rows + (probe && peek_next ? 1 : 0);
+  std::string resume = start;
+  bool skip_equal = start_exclusive;
+  bool range_ended = false;
+  bool complete = false;
+
+  for (int restart = 0; restart < 64 && !complete; ++restart) {
+    Frame* leaf = nullptr;
+    // The cursor's leaf hint first: a still-valid hint resumes the scan
+    // without the root-to-leaf descent PR 3 paid per chunk. An SMO
+    // invalidates it via the retired flag (consolidation) or by moving
+    // the resume position past the leaf (split — keys only move right,
+    // so first_key <= resume keeps the forward chain correct).
+    if (cursor->leaf_hint != kInvalidPageId) {
+      Frame* f = nullptr;
+      if (pool_->Fetch(cursor->leaf_hint, &f).ok()) {
+        f->latch.LockShared();
+        SlottedPage p =
+            f->Page(pool_->page_size(), pool_->trailer_capacity());
+        bool valid = !f->retired && p.type() == PageType::kLeaf &&
+                     p.table_id() == table && p.slot_count() > 0;
+        if (valid) {
+          Slice first;
+          LeafRecord::DecodeKey(p.PayloadAt(0), &first);
+          valid = first.compare(resume) <= 0;
+        }
+        if (valid) {
+          leaf = f;
+          stats_.scan_cursor_hint_hits.fetch_add(1);
+        } else {
+          f->latch.UnlockShared();
+          pool_->Unpin(f);
+        }
+      }
+      if (leaf == nullptr) cursor->leaf_hint = kInvalidPageId;
+    }
+    if (leaf == nullptr) {
+      Status s =
+          btree_->LocateLeaf(table, resume, /*exclusive=*/false, &leaf);
+      if (!s.ok()) {
+        chunk->status = s;
+        return;
+      }
+      stats_.scan_cursor_descends.fetch_add(1);
+    }
+    // Walk the leaf chain with latch coupling, collecting the window.
+    while (leaf != nullptr) {
+      SlottedPage page =
+          leaf->Page(pool_->page_size(), pool_->trailer_capacity());
+      bool found;
+      uint16_t slot = BTree::LeafLowerBound(page, resume, &found);
+      if (found && skip_equal) ++slot;
+      for (uint16_t i = slot; i < page.slot_count(); ++i) {
+        LeafRecord rec;
+        LeafRecord::Decode(page.PayloadAt(i), &rec);
+        if (!end_bound.empty() && Slice(rec.key).compare(end_bound) >= 0) {
+          range_ended = true;
+          break;
+        }
+        std::string value;
+        const bool visible = VisibleValue(rec, flavor, &value);
+        if (probe) {
+          // Probe semantics (§3.1): every physical key is reported so
+          // the TC can lock tombstoned records too; invisible rows are
+          // marked and carry an empty value.
+          if (!visible) {
+            chunk->invisible.push_back(
+                static_cast<uint32_t>(chunk->keys.size()));
+            value.clear();
+          }
+          chunk->keys.push_back(rec.key);
+          chunk->values.push_back(std::move(value));
+        } else if (visible) {
+          chunk->keys.push_back(rec.key);
+          chunk->values.push_back(std::move(value));
+        }
+        resume = rec.key;
+        skip_equal = true;
+        if (chunk->keys.size() >= target) break;
+      }
+      if (range_ended || chunk->keys.size() >= target) {
+        cursor->leaf_hint = leaf->pid;
+        leaf->latch.UnlockShared();
+        pool_->Unpin(leaf);
+        leaf = nullptr;
+        complete = true;
+        break;
+      }
+      const PageId next = page.next_page();
+      if (next == kInvalidPageId) {
+        range_ended = true;
+        cursor->leaf_hint = leaf->pid;
+        leaf->latch.UnlockShared();
+        pool_->Unpin(leaf);
+        leaf = nullptr;
+        complete = true;
+        break;
+      }
+      Frame* next_frame = nullptr;
+      Status s = pool_->Fetch(next, &next_frame);
+      if (!s.ok()) {
+        leaf->latch.UnlockShared();
+        pool_->Unpin(leaf);
+        leaf = nullptr;
+        break;  // structure changed; restart from resume
+      }
+      next_frame->latch.LockShared();
+      leaf->latch.UnlockShared();
+      pool_->Unpin(leaf);
+      leaf = next_frame;
+      if (leaf->retired) {
+        leaf->latch.UnlockShared();
+        pool_->Unpin(leaf);
+        leaf = nullptr;
+        break;  // restart from resume
+      }
+    }
+  }
+  // 64 restarts without completing: return the partial window (the
+  // stream resumes after it) rather than erroring, like DoScan.
+
+  if (probe && peek_next && chunk->keys.size() == target) {
+    // Fold the peeked row into the fencepost: the next window starts AT
+    // it (inclusive), exactly the PR 3 fetch-ahead resume discipline.
+    chunk->next_key = chunk->keys.back();
+    chunk->keys.pop_back();
+    chunk->values.pop_back();
+    if (!chunk->invisible.empty() &&
+        chunk->invisible.back() ==
+            static_cast<uint32_t>(chunk->keys.size())) {
+      chunk->invisible.pop_back();
+    }
+    cursor->resume_key = chunk->next_key;
+    cursor->resume_exclusive = false;
+  } else {
+    cursor->resume_key = resume;
+    cursor->resume_exclusive = skip_equal;
+  }
+  *exhausted = range_ended;
+}
+
+void DataComponent::ProduceScanChunks(
+    const std::shared_ptr<ScanCursor>& cursor, const ScanChunkEmitter& emit,
+    const ScanCreditRequest* credit) {
+  std::lock_guard<std::mutex> cursor_guard(cursor->mu);
+  active_ops_.fetch_add(1);
+  struct OpGuard {
+    DataComponent* dc;
+    ~OpGuard() {
+      if (dc->active_ops_.fetch_sub(1) == 1) dc->quiesce_cv_.notify_all();
+    }
+  } guard{this};
+
+  cursor->last_active_ms.store(SteadyNowMs());
+  if (credit != nullptr) {
+    cursor->allowed = std::max(cursor->allowed, credit->allowed_chunks);
+  }
+  const uint32_t chunk_rows =
+      cursor->req.chunk_rows == 0 ? 128 : cursor->req.chunk_rows;
+  const uint64_t total = cursor->req.base.limit;  // 0 = unbounded
+
+  auto make_chunk = [&](const std::string& from, bool exclusive) {
+    ScanStreamChunk chunk;
+    chunk.tc_id = cursor->req.base.tc_id;
+    chunk.stream_id = cursor->req.base.lsn;
+    chunk.chunk_index = cursor->next_chunk;
+    chunk.resume_key = from;
+    chunk.resume_exclusive = exclusive;
+    return chunk;
+  };
+
+  // A rewind applies even to an exhausted cursor: the final window's
+  // validated read re-reads [rewind_key, end) after the done chunk.
+  if (credit != nullptr && credit->rewind &&
+      credit->expect_chunk == cursor->next_chunk && !crashed_.load()) {
+    // Validated-window rewind: serve window k's post-lock read from the
+    // same cursor that probed it. The window is re-read in full — its
+    // size is bounded by the locked key set plus whatever slipped in
+    // before the locks, never by chunk_rows.
+    stats_.scan_rewinds.fetch_add(1);
+    const std::string& upto = credit->rewind_upto;
+    const std::string& end_bound =
+        upto.empty() ? cursor->req.base.end_key : upto;
+    ScanStreamChunk chunk =
+        make_chunk(credit->rewind_key, credit->rewind_exclusive);
+    bool window_ended = false;
+    ReadScanWindow(cursor.get(), credit->rewind_key,
+                   credit->rewind_exclusive, end_bound,
+                   /*max_rows=*/1u << 20, /*peek_next=*/false, &chunk,
+                   &window_ended);
+    if (chunk.status.ok() && !window_ended) {
+      // The re-read gave up mid-window (64 SMO-race restarts): a
+      // validated read MUST cover the whole locked window or rows
+      // would silently vanish from a serializable scan. Surface a
+      // retryable failure; the TC restarts the stream.
+      chunk.status = Status::Busy("rewind window kept racing SMOs");
+      chunk.keys.clear();
+      chunk.values.clear();
+      chunk.invisible.clear();
+    }
+    if (!chunk.status.ok()) {
+      cursor->exhausted.store(true);
+    } else if (upto.empty()) {
+      // The re-read ran to the stream's end bound: nothing follows.
+      cursor->exhausted.store(true);
+      chunk.done = true;
+    } else {
+      cursor->resume_key = upto;
+      cursor->resume_exclusive = false;
+      cursor->exhausted.store(false);
+    }
+    ++cursor->next_chunk;
+    stats_.scan_chunks_emitted.fetch_add(1);
+    emit(chunk);
+  }
+
+  while (!cursor->exhausted.load() && cursor->next_chunk < cursor->allowed) {
+    if (crashed_.load()) return;  // chunks die with the DC; TC restarts
+    uint32_t want = chunk_rows;
+    if (total != 0) {
+      if (cursor->emitted_rows >= total) {
+        cursor->exhausted.store(true);
+        break;
+      }
+      want = static_cast<uint32_t>(
+          std::min<uint64_t>(chunk_rows, total - cursor->emitted_rows));
+    }
+    ScanStreamChunk chunk =
+        make_chunk(cursor->resume_key, cursor->resume_exclusive);
+    bool window_ended = false;
+    ReadScanWindow(cursor.get(), cursor->resume_key,
+                   cursor->resume_exclusive, cursor->req.base.end_key, want,
+                   /*peek_next=*/true, &chunk, &window_ended);
+    cursor->emitted_rows += chunk.keys.size();
+    const bool limit_hit = total != 0 && cursor->emitted_rows >= total;
+    chunk.done = !chunk.status.ok() || window_ended || limit_hit;
+    if (chunk.done) cursor->exhausted.store(true);
+    ++cursor->next_chunk;
+    stats_.scan_chunks_emitted.fetch_add(1);
+    emit(chunk);
+    if (!chunk.status.ok()) break;
+  }
+  if (!cursor->exhausted.load() && cursor->next_chunk >= cursor->allowed) {
+    stats_.scan_stream_pauses.fetch_add(1);
+  }
+  cursor->last_active_ms.store(SteadyNowMs());
+}
+
+void DataComponent::PerformScanStream(const ScanStreamRequest& req,
+                                      const ScanChunkEmitter& emit) {
+  if (crashed_.load()) {
+    ScanStreamChunk chunk;
+    chunk.tc_id = req.base.tc_id;
+    chunk.stream_id = req.base.lsn;
+    chunk.done = true;
+    chunk.status = Status::Crashed("dc is down");
+    emit(chunk);
+    return;
+  }
+  EvictIdleScanCursors();
+  stats_.scan_streams.fetch_add(1);
+  auto cursor = std::make_shared<ScanCursor>();
+  cursor->req = req;
+  cursor->resume_key = req.base.key;
+  cursor->resume_exclusive = req.base.exclusive_start;
+  cursor->allowed = req.credit_chunks == 0
+                        ? std::numeric_limits<uint32_t>::max()
+                        : req.credit_chunks;
+  cursor->last_active_ms.store(SteadyNowMs());
+  const bool credited = req.credit_chunks != 0;
+  if (credited) {
+    std::lock_guard<std::mutex> guard(cursor_mu_);
+    auto inserted = cursors_.try_emplace(
+        std::make_pair(req.base.tc_id, req.base.lsn), cursor);
+    // A duplicated stream request must not fork a second execution: the
+    // first arrival owns the cursor; the duplicate's chunks would be
+    // dropped by the TC's index dedup anyway.
+    if (!inserted.second) return;
+  }
+  ProduceScanChunks(cursor, emit, nullptr);
+  if (credited && cursor->exhausted.load() && !req.probe_rows) {
+    std::lock_guard<std::mutex> guard(cursor_mu_);
+    auto it = cursors_.find(std::make_pair(req.base.tc_id, req.base.lsn));
+    if (it != cursors_.end() && it->second == cursor) cursors_.erase(it);
+  }
+}
+
+void DataComponent::ScanCredit(const ScanCreditRequest& req,
+                               const ScanChunkEmitter& emit) {
+  if (crashed_.load()) return;
+  EvictIdleScanCursors();
+  std::shared_ptr<ScanCursor> cursor;
+  {
+    std::lock_guard<std::mutex> guard(cursor_mu_);
+    auto it = cursors_.find(std::make_pair(req.tc_id, req.stream_id));
+    if (it == cursors_.end()) return;  // unknown/stale stream: TC restarts
+    if (req.close) {
+      cursors_.erase(it);
+      return;
+    }
+    cursor = it->second;
+  }
+  ProduceScanChunks(cursor, emit, &req);
+  if (cursor->exhausted.load() && !cursor->req.probe_rows) {
+    std::lock_guard<std::mutex> guard(cursor_mu_);
+    auto it = cursors_.find(std::make_pair(req.tc_id, req.stream_id));
+    if (it != cursors_.end() && it->second == cursor) cursors_.erase(it);
+  }
+}
+
+size_t DataComponent::ScanCursorCount() const {
+  std::lock_guard<std::mutex> guard(cursor_mu_);
+  return cursors_.size();
+}
+
+size_t DataComponent::EvictIdleScanCursors() {
+  const int64_t now = SteadyNowMs();
+  const int64_t ttl = static_cast<int64_t>(options_.scan_cursor_ttl_ms);
+  std::lock_guard<std::mutex> guard(cursor_mu_);
+  size_t evicted = 0;
+  for (auto it = cursors_.begin(); it != cursors_.end();) {
+    if (now - it->second->last_active_ms.load() > ttl) {
+      it = cursors_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  stats_.scan_cursors_evicted.fetch_add(evicted);
+  return evicted;
+}
+
+void DataComponent::EvictScanCursorsForTc(TcId tc) {
+  std::lock_guard<std::mutex> guard(cursor_mu_);
+  for (auto it = cursors_.begin(); it != cursors_.end();) {
+    if (it->first.first == tc) {
+      it = cursors_.erase(it);
+      stats_.scan_cursors_evicted.fetch_add(1);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DataComponent::ClearScanCursors() {
+  std::lock_guard<std::mutex> guard(cursor_mu_);
+  cursors_.clear();
+}
+
 ControlReply DataComponent::Control(const ControlRequest& req) {
   ControlReply reply;
   reply.type = req.type;
@@ -585,16 +1030,22 @@ ControlReply DataComponent::Control(const ControlRequest& req) {
       reply.status = DoTcCheckpoint(req.tc_id, req.lsn);
       break;
     case ControlType::kRestartBegin: {
+      // The failed TC's open streams died with it: drop their cursors.
+      EvictScanCursorsForTc(req.tc_id);
       std::vector<TcId> escalate;
       reply.status = DoReset(req.tc_id, req.lsn, &escalate);
       reply.escalate_tcs = std::move(escalate);
       break;
     }
-    case ControlType::kRestartEnd:
-      // The TC finished its redo resend: its LWM is trustworthy again.
+    case ControlType::kRestartEnd: {
+      // The TC finished its redo resend: its LWM is trustworthy again,
+      // and the page abLSNs are once more the coverage authority.
       pool_->AllowLwm(req.tc_id);
+      std::lock_guard<std::mutex> guard(redo_mu_);
+      redo_fresh_max_.erase(req.tc_id);
       reply.status = Status::OK();
       break;
+    }
     case ControlType::kDcCheckpoint:
       reply.status = DoDcCheckpoint();
       break;
@@ -696,6 +1147,12 @@ Status DataComponent::DoReset(TcId tc, Lsn stable_end,
       pool_->Unpin(frame);
       continue;
     }
+    if (TraceEnabled()) {
+      fprintf(stderr, "[dc] RESET pid=%u tc=%u maxfor=%llu stable_end=%llu tccount=%zu\n",
+              pid, tc, (unsigned long long)max_for_tc,
+              (unsigned long long)stable_end,
+              (size_t)frame->ablsn.TcCount());
+    }
     bool drop = false;
     if (frame->ablsn.TcCount() <= 1) {
       drop = true;
@@ -716,6 +1173,7 @@ Status DataComponent::DoReset(TcId tc, Lsn stable_end,
         }
       }
       if (merged) {
+        if (TraceEnabled()) fprintf(stderr, "[dc] RESET-MERGED pid=%u\n", pid);
         stats_.pages_reset_merged.fetch_add(1);
       } else {
         drop = true;
@@ -753,6 +1211,13 @@ Status DataComponent::DoReset(TcId tc, Lsn stable_end,
     for (TcId victim : escalate_set) reply_cache_.erase(victim);
   }
   for (TcId victim : escalate_set) pool_->DisallowLwm(victim);
+  {
+    // A NEW regression: the failed TC's and every escalated TC's next
+    // redo pass must re-establish state from scratch.
+    std::lock_guard<std::mutex> guard(redo_mu_);
+    redo_fresh_max_.erase(tc);
+    for (TcId victim : escalate_set) redo_fresh_max_.erase(victim);
+  }
   *escalate = std::move(escalate_set);
   return Status::OK();
 }
@@ -833,13 +1298,26 @@ std::vector<OperationReply> DataComponent::PerformBatch(
     return replies;
   }
   std::vector<bool> served(reqs.size(), false);
+  // A batch carrying recovery resends executes as ONE serial unit (see
+  // Perform): duplicated copies of the same redo message must not
+  // interleave their re-executions across server threads.
+  std::unique_lock<std::recursive_mutex> recovery_serial;
+  for (const auto& req : reqs) {
+    if (req.recovery_resend) {
+      recovery_serial =
+          std::unique_lock<std::recursive_mutex>(recovery_serial_mu_);
+      break;
+    }
+  }
   // One reply-cache sweep for the whole batch: a duplicate batch (channel
   // duplication or a TC resend) is answered wholesale without touching
-  // the tree or re-entering the idempotence machinery per op.
+  // the tree or re-entering the idempotence machinery per op. Recovery
+  // resends are exempt (see Perform): redo must be judged by the page
+  // abLSN alone, never by replies describing pre-regression executions.
   {
     std::lock_guard<std::mutex> guard(reply_mu_);
     for (size_t i = 0; i < reqs.size(); ++i) {
-      if (!IsWriteOp(reqs[i].op)) continue;
+      if (!IsWriteOp(reqs[i].op) || reqs[i].recovery_resend) continue;
       auto tc_it = reply_cache_.find(reqs[i].tc_id);
       if (tc_it == reply_cache_.end()) continue;
       auto it = tc_it->second.find(reqs[i].lsn);

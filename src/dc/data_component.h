@@ -25,6 +25,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <map>
 #include <memory>
@@ -53,6 +54,13 @@ struct DataComponentOptions {
   uint32_t max_value_size = 1024;
   /// Default result bound for scans/probes when the request says 0.
   uint32_t default_scan_limit = 256;
+  /// A parked scan cursor (credited stream out of credit, or a probe
+  /// stream whose TC went silent) is evicted after this long idle — the
+  /// backstop for abandoned streams whose close message never arrived.
+  /// Must exceed the TC's lock wait timeout: a fetch-ahead window can
+  /// legitimately sit idle for a full lock wait between its probe chunk
+  /// and the rewind credit.
+  uint32_t scan_cursor_ttl_ms = 10000;
 };
 
 struct DataComponentStats {
@@ -67,6 +75,21 @@ struct DataComponentStats {
   std::atomic<uint64_t> pages_reset_dropped{0};
   std::atomic<uint64_t> pages_reset_merged{0};
   std::atomic<uint64_t> reset_escalations{0};
+  /// Post-regression redo passes that overrode a stale abLSN coverage
+  /// claim (split-copied / merge-unioned over-coverage on a reverted
+  /// page) and re-executed the op instead.
+  std::atomic<uint64_t> redo_stale_coverage_overrides{0};
+  // Scan-stream cursor machinery (PR 4).
+  std::atomic<uint64_t> scan_streams{0};        ///< streams opened
+  std::atomic<uint64_t> scan_chunks_emitted{0};
+  std::atomic<uint64_t> scan_stream_pauses{0};  ///< credit ran out
+  std::atomic<uint64_t> scan_rewinds{0};        ///< validated-window re-reads
+  /// Chunk productions that resumed from the cursor's pinned-leaf hint
+  /// vs. those that had to re-descend (hint invalidated by an SMO, or a
+  /// fresh stream).
+  std::atomic<uint64_t> scan_cursor_hint_hits{0};
+  std::atomic<uint64_t> scan_cursor_descends{0};
+  std::atomic<uint64_t> scan_cursors_evicted{0};
 };
 
 class DataComponent : public DcService {
@@ -102,6 +125,24 @@ class DataComponent : public DcService {
   std::vector<OperationReply> PerformBatch(
       const std::vector<OperationRequest>& reqs) override;
 
+  /// Credited, cursor-holding scan streams: production pauses when the
+  /// chunk window (ScanStreamRequest::credit_chunks) is exhausted and the
+  /// stream parks as a DC-side cursor — resume key + leaf hint — so a
+  /// later kScanCredit resumes WITHOUT re-descending the B-tree (the hint
+  /// is validated against SMO retirement and falls back to a descent).
+  /// Cursors are evicted on stream completion, an explicit close credit,
+  /// the owning TC's reset, DC crash, or the idle TTL.
+  void PerformScanStream(const ScanStreamRequest& req,
+                         const ScanChunkEmitter& emit) override;
+  void ScanCredit(const ScanCreditRequest& req,
+                  const ScanChunkEmitter& emit) override;
+
+  /// Open (parked or in-production) scan cursors. For tests.
+  size_t ScanCursorCount() const;
+  /// Evicts cursors idle longer than the TTL; returns how many. Runs
+  /// implicitly on every stream open / credit; exposed for tests.
+  size_t EvictIdleScanCursors();
+
   // -- Introspection (tests, benches, wired deployments) ---------------------
   BufferPool* pool() { return pool_.get(); }
   BTree* btree() { return btree_.get(); }
@@ -123,6 +164,47 @@ class DataComponent : public DcService {
   OperationReply DoRead(const OperationRequest& req);
   OperationReply DoScan(const OperationRequest& req);
   OperationReply DoCreateTable(const OperationRequest& req);
+
+  /// One open scan stream's DC-side state. `mu` serializes chunk
+  /// production (two server threads may race a credit and the original
+  /// request); the table mutex only guards lookup/insert/erase.
+  struct ScanCursor {
+    ScanStreamRequest req;
+    std::mutex mu;
+    std::string resume_key;
+    bool resume_exclusive = false;
+    uint64_t emitted_rows = 0;
+    uint32_t next_chunk = 0;
+    /// Absolute chunk window: chunks [0, allowed) may be produced.
+    uint32_t allowed = 0;
+    /// Last leaf the cursor stopped in — the latch-coupled resume hint.
+    PageId leaf_hint = kInvalidPageId;
+    /// Atomic: checked by the table-maintenance paths without mu.
+    std::atomic<bool> exhausted{false};
+    /// Steady-clock millis; atomic so the TTL sweep can read it while a
+    /// producer holds mu.
+    std::atomic<int64_t> last_active_ms{0};
+  };
+
+  /// Produces chunks for `cursor` until its credit window or the range
+  /// is exhausted, applying an optional rewind first. Holds cursor->mu.
+  void ProduceScanChunks(const std::shared_ptr<ScanCursor>& cursor,
+                         const ScanChunkEmitter& emit,
+                         const ScanCreditRequest* credit);
+
+  /// Reads one window from (start, start_exclusive) bounded by
+  /// `end_bound` (exclusive; empty = unbounded) into `chunk`, using and
+  /// updating the cursor's leaf hint. Sets *exhausted when the range
+  /// ended inside this window, and advances the cursor's resume
+  /// position past the window (to next_key inclusively when the probe
+  /// peeked one, else past the last read key). Caller holds cursor->mu.
+  void ReadScanWindow(ScanCursor* cursor, std::string start,
+                      bool start_exclusive, const std::string& end_bound,
+                      uint32_t max_rows, bool peek_next,
+                      ScanStreamChunk* chunk, bool* exhausted);
+
+  void EvictScanCursorsForTc(TcId tc);
+  void ClearScanCursors();
 
   /// Write-op application on a latched leaf. Returns the reply; sets
   /// outcome flags for split/consolidate needs.
@@ -164,6 +246,22 @@ class DataComponent : public DcService {
   std::mutex sentinel_mu_;
   // (table|key) -> (tc, lsn) of the in-flight conflicting op.
   std::unordered_map<std::string, std::pair<TcId, Lsn>> in_flight_;
+
+  mutable std::mutex cursor_mu_;
+  std::map<std::pair<TcId, uint64_t>, std::shared_ptr<ScanCursor>> cursors_;
+
+  /// Per-TC high-water mark of lsns re-executed by the CURRENT
+  /// post-regression redo pass (tracked only while the TC's LWM is
+  /// disallowed, i.e. between a state regression and the TC's
+  /// restart-end). Reset whenever a new regression begins.
+  std::mutex redo_mu_;
+  std::map<TcId, Lsn> redo_fresh_max_;
+  /// Serializes recovery-resend execution: the channel can duplicate a
+  /// redo batch, and two copies interleaving on the server threads
+  /// would re-execute ops out of LSN order. Recursive because
+  /// PerformBatch holds it for the whole batch and delegates per-op to
+  /// Perform, which also takes it.
+  std::recursive_mutex recovery_serial_mu_;
 
   DataComponentStats stats_;
 };

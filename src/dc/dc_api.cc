@@ -148,11 +148,47 @@ bool OperationBatchReply::DecodeFrom(Slice* input, OperationBatchReply* out) {
 void ScanStreamRequest::EncodeTo(std::string* dst) const {
   base.EncodeTo(dst);
   PutVarint32(dst, chunk_rows);
+  PutVarint32(dst, credit_chunks);
+  dst->push_back(static_cast<char>(probe_rows ? 1 : 0));
 }
 
 bool ScanStreamRequest::DecodeFrom(Slice* input, ScanStreamRequest* out) {
   if (!OperationRequest::DecodeFrom(input, &out->base)) return false;
   if (!GetVarint32(input, &out->chunk_rows)) return false;
+  if (!GetVarint32(input, &out->credit_chunks)) return false;
+  if (input->empty()) return false;
+  out->probe_rows = ((*input)[0] & 1) != 0;
+  input->remove_prefix(1);
+  return true;
+}
+
+void ScanCreditRequest::EncodeTo(std::string* dst) const {
+  PutFixed16(dst, tc_id);
+  PutVarint64(dst, stream_id);
+  PutVarint32(dst, allowed_chunks);
+  dst->push_back(static_cast<char>((close ? 1 : 0) | (rewind ? 2 : 0) |
+                                   (rewind_exclusive ? 4 : 0)));
+  PutVarint32(dst, expect_chunk);
+  PutLengthPrefixedSlice(dst, rewind_key);
+  PutLengthPrefixedSlice(dst, rewind_upto);
+}
+
+bool ScanCreditRequest::DecodeFrom(Slice* input, ScanCreditRequest* out) {
+  if (!GetFixed16(input, &out->tc_id)) return false;
+  if (!GetVarint64(input, &out->stream_id)) return false;
+  if (!GetVarint32(input, &out->allowed_chunks)) return false;
+  if (input->empty()) return false;
+  const uint8_t flags = static_cast<uint8_t>((*input)[0]);
+  input->remove_prefix(1);
+  out->close = (flags & 1) != 0;
+  out->rewind = (flags & 2) != 0;
+  out->rewind_exclusive = (flags & 4) != 0;
+  if (!GetVarint32(input, &out->expect_chunk)) return false;
+  Slice key, upto;
+  if (!GetLengthPrefixedSlice(input, &key)) return false;
+  if (!GetLengthPrefixedSlice(input, &upto)) return false;
+  out->rewind_key = key.ToString();
+  out->rewind_upto = upto.ToString();
   return true;
 }
 
@@ -169,6 +205,9 @@ void ScanStreamChunk::EncodeTo(std::string* dst) const {
   for (const auto& k : keys) PutLengthPrefixedSlice(dst, k);
   PutVarint32(dst, static_cast<uint32_t>(values.size()));
   for (const auto& v : values) PutLengthPrefixedSlice(dst, v);
+  PutLengthPrefixedSlice(dst, next_key);
+  PutVarint32(dst, static_cast<uint32_t>(invisible.size()));
+  for (uint32_t i : invisible) PutVarint32(dst, i);
 }
 
 bool ScanStreamChunk::DecodeFrom(Slice* input, ScanStreamChunk* out) {
@@ -206,6 +245,18 @@ bool ScanStreamChunk::DecodeFrom(Slice* input, ScanStreamChunk* out) {
     Slice v;
     if (!GetLengthPrefixedSlice(input, &v)) return false;
     out->values.push_back(v.ToString());
+  }
+  Slice next;
+  if (!GetLengthPrefixedSlice(input, &next)) return false;
+  out->next_key = next.ToString();
+  uint32_t ninvisible;
+  if (!GetVarint32(input, &ninvisible)) return false;
+  out->invisible.clear();
+  out->invisible.reserve(ninvisible);
+  for (uint32_t i = 0; i < ninvisible; ++i) {
+    uint32_t idx;
+    if (!GetVarint32(input, &idx)) return false;
+    out->invisible.push_back(idx);
   }
   return true;
 }

@@ -135,9 +135,49 @@ struct ScanStreamRequest {
   OperationRequest base;
   /// Rows per chunk reply (0 = the DC-side default).
   uint32_t chunk_rows = 0;
+  /// Flow control: the DC may emit chunks [0, credit_chunks) and must
+  /// then pause until a kScanCredit raises the window — so the reply
+  /// channel never holds more than the credit window of chunks, no
+  /// matter how large the scan. 0 = uncredited (eager push).
+  uint32_t credit_chunks = 0;
+  /// Fetch-ahead probe mode (§3.1 fold): chunks report EVERY physical
+  /// key (probe semantics, so the TC can lock tombstoned records too)
+  /// plus the fencepost in `next_key`; invisible rows carry an empty
+  /// value and are listed in `invisible`. Plain scans report visible
+  /// rows only.
+  bool probe_rows = false;
 
   void EncodeTo(std::string* dst) const;
   static bool DecodeFrom(Slice* input, ScanStreamRequest* out);
+};
+
+/// Credit / window control for one open scan stream, correlated by
+/// (tc_id, stream_id). Every field is ABSOLUTE so the lossy channel is
+/// harmless: duplicated credits fold with max(), a lost credit is
+/// recovered by resending the latest value, and a rewind applies only
+/// while `expect_chunk` still names the cursor's next index.
+struct ScanCreditRequest {
+  TcId tc_id = 0;
+  uint64_t stream_id = 0;
+  /// Chunks [0, allowed_chunks) may be produced.
+  uint32_t allowed_chunks = 0;
+  /// The stream is finished (limit hit / abandoned): the DC may evict
+  /// its cursor now instead of waiting for the idle TTL.
+  bool close = false;
+  /// Validated-window rewind (the fetch-ahead fold): when set and the
+  /// cursor's next chunk index equals expect_chunk, the cursor seeks
+  /// back to (rewind_key, rewind_exclusive) and re-reads up to
+  /// rewind_upto (exclusive; empty = the stream's end bound) as the
+  /// next chunk — window k's validated read served from the same cursor
+  /// that probed it — then resumes from rewind_upto inclusively.
+  bool rewind = false;
+  uint32_t expect_chunk = 0;
+  std::string rewind_key;
+  bool rewind_exclusive = false;
+  std::string rewind_upto;
+
+  void EncodeTo(std::string* dst) const;
+  static bool DecodeFrom(Slice* input, ScanCreditRequest* out);
 };
 
 /// One chunk of a streamed scan, correlated by (tc_id, stream_id).
@@ -162,6 +202,13 @@ struct ScanStreamChunk {
   Status status;
   std::vector<std::string> keys;
   std::vector<std::string> values;
+  /// probe_rows streams: the first key after this chunk's rows — the
+  /// fetch-ahead fencepost. Empty = the range ends with this chunk.
+  std::string next_key;
+  /// probe_rows streams: indices into `keys` whose record is not
+  /// visible under the request's read flavor (their values[] slot is
+  /// empty). The TC locks them but does not emit them.
+  std::vector<uint32_t> invisible;
 
   void EncodeTo(std::string* dst) const;
   static bool DecodeFrom(Slice* input, ScanStreamChunk* out);
@@ -177,6 +224,7 @@ enum class MessageKind : uint8_t {
   kOperationBatchReply = 6,
   kScanStreamRequest = 7,
   kScanStreamChunk = 8,
+  kScanCredit = 9,
 };
 
 std::string WrapMessage(MessageKind kind, const std::string& body);
@@ -209,9 +257,18 @@ class DcService {
   /// when an operation fails (the chunk carries the status). The
   /// default drives Perform(kScanRange) per chunk and declares the
   /// range exhausted only on an EMPTY reply, so partial replies (a scan
-  /// that gave up early) resume instead of truncating.
+  /// that gave up early) resume instead of truncating. The default
+  /// driver ignores credit (eager push); DataComponent overrides it
+  /// with a credited, cursor-holding implementation.
   virtual void PerformScanStream(const ScanStreamRequest& req,
                                  const ScanChunkEmitter& emit);
+
+  /// Raises (or rewinds / closes) the chunk window of an open credited
+  /// stream; a paused cursor resumes production through `emit`. Credits
+  /// for unknown streams are ignored (the TC restarts on stall). The
+  /// default is a no-op — the base driver above never pauses.
+  virtual void ScanCredit(const ScanCreditRequest& /*req*/,
+                          const ScanChunkEmitter& /*emit*/) {}
 };
 
 }  // namespace untx

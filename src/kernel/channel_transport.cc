@@ -78,6 +78,13 @@ void ChannelTransport::Client::SendScanStream(const ScanStreamRequest& req) {
       WrapMessage(MessageKind::kScanStreamRequest, body));
 }
 
+void ChannelTransport::Client::SendScanCredit(const ScanCreditRequest& req) {
+  std::string body;
+  req.EncodeTo(&body);
+  transport_->scan_credit_messages_.fetch_add(1);
+  transport_->request_ch_.Send(WrapMessage(MessageKind::kScanCredit, body));
+}
+
 void ChannelTransport::Client::QueueOperation(const OperationRequest& req) {
   std::vector<OperationRequest> full;
   bool first = false;
@@ -182,6 +189,24 @@ void ChannelTransport::FlushLoop() {
   }
 }
 
+void ChannelTransport::EmitChunk(const ScanStreamChunk& chunk) {
+  // A crashed DC sends nothing; the TC restarts the stream.
+  if (chunk.status.IsCrashed()) return;
+  std::string out;
+  chunk.EncodeTo(&out);
+  std::string wire = WrapMessage(MessageKind::kScanStreamChunk, out);
+  // Account the chunk's residency in the reply channel: incremented at
+  // send, decremented when the dispatcher pulls it off. The high-water
+  // mark is the memory bound the credit window is supposed to enforce.
+  const uint64_t size = wire.size();
+  const uint64_t now = queued_scan_bytes_.fetch_add(size) + size;
+  uint64_t seen = max_queued_scan_bytes_.load();
+  while (now > seen &&
+         !max_queued_scan_bytes_.compare_exchange_weak(seen, now)) {
+  }
+  reply_ch_.Send(std::move(wire));
+}
+
 void ChannelTransport::ServerLoop() {
   std::string wire;
   while (!stop_.load()) {
@@ -216,13 +241,13 @@ void ChannelTransport::ServerLoop() {
     } else if (kind == MessageKind::kScanStreamRequest) {
       ScanStreamRequest req;
       if (!ScanStreamRequest::DecodeFrom(&body, &req)) continue;
-      dc_->PerformScanStream(req, [this](const ScanStreamChunk& chunk) {
-        // A crashed DC sends nothing; the TC restarts the stream.
-        if (chunk.status.IsCrashed()) return;
-        std::string out;
-        chunk.EncodeTo(&out);
-        reply_ch_.Send(WrapMessage(MessageKind::kScanStreamChunk, out));
-      });
+      dc_->PerformScanStream(
+          req, [this](const ScanStreamChunk& chunk) { EmitChunk(chunk); });
+    } else if (kind == MessageKind::kScanCredit) {
+      ScanCreditRequest req;
+      if (!ScanCreditRequest::DecodeFrom(&body, &req)) continue;
+      dc_->ScanCredit(
+          req, [this](const ScanStreamChunk& chunk) { EmitChunk(chunk); });
     } else if (kind == MessageKind::kControlRequest) {
       ControlRequest req;
       if (!ControlRequest::DecodeFrom(&body, &req)) continue;
@@ -255,6 +280,16 @@ void ChannelTransport::DispatchLoop() {
     } else if (kind == MessageKind::kScanStreamChunk) {
       ScanStreamChunk chunk;
       if (!ScanStreamChunk::DecodeFrom(&body, &chunk)) continue;
+      // Off the reply channel: release its queued-byte accounting. (A
+      // duplicated chunk under-counts here and a dropped one never
+      // arrives, so the residual can drift on lossy channels — the
+      // high-water mark stays a conservative upper bound.)
+      const uint64_t size = wire.size();
+      uint64_t queued = queued_scan_bytes_.load();
+      while (queued > 0 &&
+             !queued_scan_bytes_.compare_exchange_weak(
+                 queued, queued >= size ? queued - size : 0)) {
+      }
       scan_chunks_.fetch_add(1);
       scan_rows_carried_.fetch_add(chunk.keys.size());
       if (client_.scan_chunk_handler()) client_.scan_chunk_handler()(chunk);

@@ -79,6 +79,20 @@ class ChannelTransport {
   /// Chunk replies received and the rows they carried.
   uint64_t scan_chunks() const { return scan_chunks_.load(); }
   uint64_t scan_rows_carried() const { return scan_rows_carried_.load(); }
+  /// kScanCredit messages sent (flow-control replenish, validated-window
+  /// rewinds and close notices).
+  uint64_t scan_credit_messages() const {
+    return scan_credit_messages_.load();
+  }
+  /// High-water mark of scan-chunk bytes resident in the reply channel —
+  /// the memory a scan can pin there. Credited streams bound this by
+  /// credit_chunks × chunk size no matter how large the scan; eager
+  /// streams let it grow with the whole result. (A dropped chunk reply
+  /// is never decremented, so the mark is conservative on lossy
+  /// channels.)
+  uint64_t max_queued_scan_bytes() const {
+    return max_queued_scan_bytes_.load();
+  }
   /// Request messages carrying kPromoteVersion ops and the promote ops
   /// they carried — a K-key versioned commit should cost
   /// ceil(K / promote_batch_ops) messages, not K.
@@ -105,6 +119,7 @@ class ChannelTransport {
     void SendOperationBatch(
         const std::vector<OperationRequest>& reqs) override;
     void SendScanStream(const ScanStreamRequest& req) override;
+    void SendScanCredit(const ScanCreditRequest& req) override;
     /// Coalesces queued ops bound for this DC into one channel message.
     void QueueOperation(const OperationRequest& req) override;
     void FlushOperations() override;
@@ -131,6 +146,9 @@ class ChannelTransport {
   void ServerLoop();
   void DispatchLoop();
   void FlushLoop();
+  /// Sends one scan chunk on the reply channel with queued-byte
+  /// accounting (suppressed for a crashed DC).
+  void EmitChunk(const ScanStreamChunk& chunk);
 
   DataComponent* dc_;
   ChannelTransportOptions options_;
@@ -151,6 +169,9 @@ class ChannelTransport {
   std::atomic<uint64_t> scan_messages_{0};
   std::atomic<uint64_t> scan_chunks_{0};
   std::atomic<uint64_t> scan_rows_carried_{0};
+  std::atomic<uint64_t> scan_credit_messages_{0};
+  std::atomic<uint64_t> queued_scan_bytes_{0};
+  std::atomic<uint64_t> max_queued_scan_bytes_{0};
   std::atomic<uint64_t> promote_messages_{0};
   std::atomic<uint64_t> promote_ops_carried_{0};
   std::atomic<uint64_t> coalesce_idle_flushes_{0};

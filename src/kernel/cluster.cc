@@ -1,5 +1,6 @@
 #include "kernel/cluster.h"
 
+#include <algorithm>
 #include <set>
 
 namespace untx {
@@ -220,6 +221,30 @@ uint64_t Cluster::TotalScanRowsCarried() const {
     }
   }
   return total;
+}
+
+uint64_t Cluster::TotalScanCreditMessages() const {
+  uint64_t total = 0;
+  for (const auto& row : bindings_) {
+    for (const auto& binding : row) {
+      if (ChannelTransport* ch = binding->channel()) {
+        total += ch->scan_credit_messages();
+      }
+    }
+  }
+  return total;
+}
+
+uint64_t Cluster::MaxQueuedScanBytes() const {
+  uint64_t max = 0;
+  for (const auto& row : bindings_) {
+    for (const auto& binding : row) {
+      if (ChannelTransport* ch = binding->channel()) {
+        max = std::max(max, ch->max_queued_scan_bytes());
+      }
+    }
+  }
+  return max;
 }
 
 uint64_t Cluster::TotalPromoteMessages() const {

@@ -154,6 +154,11 @@ class Cluster {
   /// window on the blocking protocol) and the rows chunk replies carried.
   uint64_t TotalScanMessages() const;
   uint64_t TotalScanRowsCarried() const;
+  /// Scan flow control: kScanCredit messages sent, and the largest
+  /// reply-channel scan residency any binding saw (the memory the
+  /// credit window bounds).
+  uint64_t TotalScanCreditMessages() const;
+  uint64_t MaxQueuedScanBytes() const;
   /// Batched commit-time version promotion: messages carrying
   /// kPromoteVersion ops, and the promote ops carried.
   uint64_t TotalPromoteMessages() const;

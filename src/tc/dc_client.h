@@ -34,6 +34,12 @@ class DcClient {
   /// inline on the calling thread.
   virtual void SendScanStream(const ScanStreamRequest& req) = 0;
 
+  /// Raises / rewinds / closes the chunk window of an open credited
+  /// stream (flow control: the DC pauses when the window is exhausted,
+  /// bounding reply-channel memory). Fire-and-forget; losses are
+  /// recovered by the TC's credit resend + stream restart discipline.
+  virtual void SendScanCredit(const ScanCreditRequest& req) = 0;
+
   /// Sends several operations as ONE message where the transport supports
   /// it. Default: degrade to per-op sends.
   virtual void SendOperationBatch(const std::vector<OperationRequest>& reqs) {
@@ -93,6 +99,16 @@ class DirectDcClient : public DcClient {
   void SendScanStream(const ScanStreamRequest& req) override {
     dc_->PerformScanStream(req, [this](const ScanStreamChunk& chunk) {
       // A crashed DC produces no chunks; the TC's restart loop retries.
+      if (!chunk.status.IsCrashed() && scan_chunk_handler_) {
+        scan_chunk_handler_(chunk);
+      }
+    });
+  }
+
+  void SendScanCredit(const ScanCreditRequest& req) override {
+    // Inline resume: the paused cursor produces its next chunks on the
+    // calling thread, straight into the chunk handler.
+    dc_->ScanCredit(req, [this](const ScanStreamChunk& chunk) {
       if (!chunk.status.IsCrashed() && scan_chunk_handler_) {
         scan_chunk_handler_(chunk);
       }

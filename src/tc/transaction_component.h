@@ -105,6 +105,12 @@ struct TcOptions {
   bool scan_streaming = true;
   /// Rows per streamed-scan chunk (0 = the DC default).
   uint32_t scan_stream_chunk = 128;
+  /// Scan-stream flow control: the DC may run at most this many chunks
+  /// ahead of the TC cursor's consumption (kScanCredit replenishes the
+  /// window as chunks drain), bounding reply-channel memory to
+  /// credit × chunk size for arbitrarily large scans. 0 = uncredited
+  /// eager push (the PR 3 behavior — unbounded).
+  uint32_t scan_credit_chunks = 4;
   /// Fetch-ahead protocol: inserts probe and instant-lock the next key so
   /// serializable scans are phantom-safe. Costs one probe per insert.
   bool insert_phantom_protection = true;
@@ -145,6 +151,14 @@ struct TcStats {
   std::atomic<uint64_t> scan_rows{0};
   /// Stream re-issues after a lost/late chunk (resume from last key).
   std::atomic<uint64_t> scan_restarts{0};
+  /// Flow control: kScanCredit messages sent, and credits re-sent on a
+  /// stall (a lost credit must not wedge the stream).
+  std::atomic<uint64_t> scan_credits_sent{0};
+  std::atomic<uint64_t> scan_credit_resends{0};
+  /// Fetch-ahead fold: windows whose validated read was served from the
+  /// DC-side stream cursor (a rewind chunk) instead of a blocking
+  /// ScanRange round trip.
+  std::atomic<uint64_t> scan_validated_windows{0};
   /// Fetch-ahead scans: the prefetched next-window probe had already
   /// completed when awaited — the probe round trip fully overlapped the
   /// lock/validate work of the previous window.
@@ -309,7 +323,9 @@ class TransactionComponent {
     DcId dc = 0;
     Notification done;
     OperationReply reply;
-    bool completed = false;
+    /// Atomic: set under out_mu_ by the reply handler, but read lock-free
+    /// on fast paths (AwaitOp's flush check, prefetch-hit accounting).
+    std::atomic<bool> completed{false};
     /// False for recovery resends: the log record already exists.
     bool needs_seal = true;
     /// Dispatched through the coalescing queue (Await must flush).
@@ -407,6 +423,29 @@ class TransactionComponent {
       uint32_t limit, ReadFlavor flavor,
       const std::function<bool(const std::string&, const std::string&)>&
           emit_row);
+
+  /// Fetch-ahead protocol over ONE probe-mode stream (§3.1 folded into
+  /// the scan stream): each chunk is the speculative probe for one
+  /// window (every physical key + the fencepost), the TC locks it, and
+  /// the validated read is a kScanCredit REWIND served from the same
+  /// DC-side cursor — zero blocking ScanRange messages. The rewind
+  /// credit also grants one speculative chunk beyond the rewind, so the
+  /// next window's probe flies while this window's rows are emitted.
+  Status FetchAheadStreamScan(
+      TxnId txn, TableId table, const std::string& from,
+      const std::string& to, uint32_t limit,
+      std::vector<std::pair<std::string, std::string>>* out);
+
+  /// Waits for the next in-order chunk of `stream`. Returns OK with
+  /// *got=false on a stall (chunk lost or late), non-OK when the TC
+  /// crashed or the chunk carried a failure.
+  Status WaitStreamChunk(const std::shared_ptr<ScanStream>& stream,
+                         std::chrono::milliseconds wait,
+                         ScanStreamChunk* chunk, bool* got);
+
+  /// Blocks while `dc` is replaying its redo (scans must not read a
+  /// partially re-populated tree).
+  Status WaitDcReady(DcId dc, std::chrono::steady_clock::time_point deadline);
 
   /// Sends a control request and waits for the ack.
   StatusOr<ControlReply> ControlAwait(DcId dc, ControlRequest req,

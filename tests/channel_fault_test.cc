@@ -27,7 +27,8 @@ std::string Key(int i) {
 class ChannelFaultTest
     : public ::testing::TestWithParam<std::tuple<int, int, int>> {
  protected:
-  std::unique_ptr<UnbundledDb> Open() {
+  std::unique_ptr<UnbundledDb> Open(
+      const std::function<void(UnbundledDbOptions*)>& tweak = nullptr) {
     const auto [drop, dup, delay] = GetParam();
     UnbundledDbOptions options;
     options.transport = TransportKind::kChannel;
@@ -41,6 +42,7 @@ class ChannelFaultTest
     options.channel.reply_channel.seed = 29 + drop + dup;
     options.tc.resend_interval_ms = 5;
     options.tc.control_interval_ms = 5;
+    if (tweak) tweak(&options);
     auto db = std::move(UnbundledDb::Open(options)).ValueOrDie();
     EXPECT_TRUE(db->CreateTable(kTable).ok());
     return db;
@@ -180,6 +182,91 @@ TEST_P(ChannelFaultTest, StreamedScanExactlyOnceUnderFaults) {
     }
   }
   EXPECT_GT(db->tc()->stats().scan_streams.load(), 0u);
+}
+
+// PR 4 sweep arm: a large scan squeezed through a TINY credit window (2
+// chunks of 8 rows) under every drop/dup/reorder configuration. Credits
+// ride the same lossy request channel as everything else — a lost
+// kScanCredit must be recovered by the credit-resend-on-stall (or a full
+// stream restart), never wedge the scan, and the rows must still be
+// exactly-once, in order.
+TEST_P(ChannelFaultTest, TinyCreditStreamedScanExactlyOnce) {
+  auto db = Open([](UnbundledDbOptions* options) {
+    options->tc.scan_stream_chunk = 8;
+    options->tc.scan_credit_chunks = 2;
+    options->tc.insert_phantom_protection = false;
+  });
+  constexpr int kRows = 160;  // 20 chunks against a 2-chunk window
+  for (int base = 0; base < kRows; base += 32) {
+    Txn txn(db->tc());
+    ASSERT_TRUE(txn.ok());
+    for (int i = base; i < base + 32; ++i) {
+      txn.InsertAsync(kTable, Key(i), "v" + std::to_string(i));
+    }
+    ASSERT_TRUE(txn.Flush().ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  for (int round = 0; round < 3; ++round) {
+    // Shared scan and the fetch-ahead transactional fold, both credited.
+    std::vector<std::pair<std::string, std::string>> rows;
+    ASSERT_TRUE(db->tc()
+                    ->ScanShared(kTable, "", "", 0, ReadFlavor::kDirty,
+                                 &rows)
+                    .ok());
+    ASSERT_EQ(rows.size(), static_cast<size_t>(kRows))
+        << "credited stream lost or duplicated rows (round " << round
+        << ")";
+    for (int i = 0; i < kRows; ++i) ASSERT_EQ(rows[i].first, Key(i));
+
+    Txn txn(db->tc());
+    std::vector<std::pair<std::string, std::string>> txn_rows;
+    ASSERT_TRUE(txn.Scan(kTable, "", "", 0, &txn_rows).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+    ASSERT_EQ(txn_rows.size(), static_cast<size_t>(kRows));
+    for (int i = 0; i < kRows; ++i) ASSERT_EQ(txn_rows[i].first, Key(i));
+  }
+  EXPECT_GT(db->tc()->stats().scan_credits_sent.load(), 0u);
+}
+
+// Deterministically heavy credit loss: 25% of REQUEST-channel messages
+// (where every kScanCredit rides) vanish, replies are clean. The scan
+// must complete via credit resends and stream restarts — a lost credit
+// alone can never wedge the stream.
+TEST(ChannelTransportTest, LostCreditsCannotWedgeTheStream) {
+  UnbundledDbOptions options;
+  options.transport = TransportKind::kChannel;
+  options.channel.request_channel.drop_prob = 0.25;
+  options.channel.request_channel.seed = 4242;
+  options.tc.resend_interval_ms = 5;
+  options.tc.control_interval_ms = 5;
+  options.tc.insert_phantom_protection = false;
+  options.tc.scan_stream_chunk = 8;
+  options.tc.scan_credit_chunks = 2;
+  auto db = std::move(UnbundledDb::Open(options)).ValueOrDie();
+  ASSERT_TRUE(db->CreateTable(kTable).ok());
+  constexpr int kRows = 240;  // 30 chunks: plenty of credits to lose
+  for (int base = 0; base < kRows; base += 24) {
+    Txn txn(db->tc());
+    for (int i = base; i < base + 24; ++i) {
+      txn.InsertAsync(kTable, Key(i), "v" + std::to_string(i));
+    }
+    ASSERT_TRUE(txn.Flush().ok());
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::pair<std::string, std::string>> rows;
+    ASSERT_TRUE(db->tc()
+                    ->ScanShared(kTable, "", "", 0, ReadFlavor::kDirty,
+                                 &rows)
+                    .ok());
+    ASSERT_EQ(rows.size(), static_cast<size_t>(kRows));
+    for (int i = 0; i < kRows; ++i) ASSERT_EQ(rows[i].first, Key(i));
+  }
+  // With a quarter of credits dropped, recovery machinery must have
+  // fired at least once.
+  EXPECT_GT(db->tc()->stats().scan_credit_resends.load() +
+                db->tc()->stats().scan_restarts.load(),
+            0u);
 }
 
 // A DC crash mid-stream: the in-flight stream request dies in the DC's

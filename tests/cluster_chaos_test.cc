@@ -1,0 +1,415 @@
+// Cluster-wide chaos/consistency sweep (PR 4): a seeded random workload
+// — reads, writes, multi-DC transactions, scans, aborts, checkpoints —
+// runs against a 2-TC x 2-DC channel Cluster whose wires drop, duplicate
+// and reorder messages, with DC crashes, TC crashes (including mid-
+// transaction) and restarts interleaved. The op log of transactions that
+// COMMITTED is then replayed against monolithic::MonolithicEngine (which
+// shares almost no recovery code with the unbundled kernel) and the
+// final key/value state of both engines must be identical. This extends
+// divergence_test's idea from one UnbundledDb to the full Cluster fault
+// surface.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "kernel/cluster.h"
+#include "monolithic/engine.h"
+
+namespace untx {
+namespace {
+
+// Two tables so the default router (table % num_dcs) spreads the
+// workload over both DCs; multi-key transactions span them.
+//
+// Write ownership is PARTITIONED per TC (§6: TCs share DCs for storage
+// and cross-TC reads, but each record has one writer TC): TC t writes
+// only keys with index ≡ t (mod 2). Cross-TC conflicting writes are
+// outside the §1.2/§6.1 contract — per-TC redo cannot order them.
+constexpr TableId kTableA = 1;  // routed to DC 1
+constexpr TableId kTableB = 2;  // routed to DC 0
+constexpr int kKeySpace = 40;
+
+std::string Key(int i) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "k%06d", i);
+  return buf;
+}
+
+struct LoggedOp {
+  enum Kind { kUpsert, kDelete } kind;
+  TableId table;
+  std::string key;
+  std::string value;
+};
+
+/// One committed transaction of the chaos run, replayable elsewhere.
+struct LoggedTxn {
+  std::vector<LoggedOp> ops;
+};
+
+struct ChaosConfig {
+  uint64_t seed;
+  double drop;
+  double dup;
+  uint32_t delay_us;
+  int length;
+};
+
+class ClusterChaosTest : public ::testing::TestWithParam<ChaosConfig> {};
+
+std::unique_ptr<Cluster> OpenChaosCluster(const ChaosConfig& config) {
+  ClusterOptions options;
+  options.num_dcs = 2;
+  options.transport = TransportKind::kChannel;
+  options.store.page_size = 1024;
+  options.store.trailer_capacity = 128;
+  options.dc.max_value_size = 200;
+  options.channel.request_channel.drop_prob = config.drop;
+  options.channel.request_channel.dup_prob = config.dup;
+  options.channel.request_channel.max_delay_us = config.delay_us;
+  options.channel.request_channel.seed = config.seed * 31 + 7;
+  options.channel.reply_channel.drop_prob = config.drop;
+  options.channel.reply_channel.dup_prob = config.dup;
+  options.channel.reply_channel.max_delay_us = config.delay_us;
+  options.channel.reply_channel.seed = config.seed * 37 + 11;
+  for (int t = 0; t < 2; ++t) {
+    TcSpec spec;
+    spec.options.tc_id = static_cast<TcId>(t + 1);
+    spec.options.resend_interval_ms = 5;
+    spec.options.control_interval_ms = 5;
+    spec.options.scan_stream_chunk = 8;
+    spec.options.scan_credit_chunks = 2;  // tiny window: max flow control
+    spec.options.insert_phantom_protection = false;
+    options.tcs.push_back(spec);
+  }
+  auto cluster = std::move(Cluster::Open(options)).ValueOrDie();
+  EXPECT_TRUE(cluster->tc(0)->CreateTable(kTableA).ok());
+  EXPECT_TRUE(cluster->tc(0)->CreateTable(kTableB).ok());
+  EXPECT_TRUE(cluster->tc(1)->CreateTable(kTableA).ok());
+  EXPECT_TRUE(cluster->tc(1)->CreateTable(kTableB).ok());
+  return cluster;
+}
+
+using Model = std::map<std::pair<TableId, std::string>, std::string>;
+
+TEST_P(ClusterChaosTest, MatchesMonolithicReplay) {
+  const ChaosConfig& config = GetParam();
+  auto cluster = OpenChaosCluster(config);
+  Random rng(config.seed);
+  Model model;               // expected state, maintained by the driver
+  std::vector<LoggedTxn> committed;  // replayed against the monolith
+  std::map<std::pair<TableId, std::string>, std::string> history;
+  auto note = [&](TableId table, const std::string& key,
+                  const std::string& what) {
+    history[{table, key}] += what + "; ";
+  };
+
+  auto pick_table = [&] { return rng.Bernoulli(0.5) ? kTableA : kTableB; };
+  // Any key, for reads/scans (cross-TC reads are fair game).
+  auto pick_key = [&] {
+    return Key(static_cast<int>(rng.Uniform(kKeySpace)));
+  };
+  // A key OWNED by TC t, for writes.
+  auto pick_owned_key = [&](int t) {
+    return Key(2 * static_cast<int>(rng.Uniform(kKeySpace / 2)) + t);
+  };
+
+  auto full_check = [&](int step, const char* what) {
+    if (getenv("CHAOS_STEPWISE") == nullptr) return;
+    for (TableId table : {kTableA, kTableB}) {
+      std::vector<std::pair<std::string, std::string>> rows;
+      ASSERT_TRUE(cluster->tc(0)
+                      ->ScanShared(table, "", "", 0, ReadFlavor::kDirty,
+                                   &rows)
+                      .ok());
+      Model got;
+      for (const auto& [k, v] : rows) got[{table, k}] = v;
+      for (const auto& [tk, v] : model) {
+        if (tk.first != table) continue;
+        auto it = got.find(tk);
+        ASSERT_TRUE(it != got.end())
+            << "step " << step << " (" << what << "): lost " << tk.second
+            << "\n  hist: " << history[tk]
+            << "\n  faults: " << history[{0, "faults"}];
+        ASSERT_EQ(it->second, v)
+            << "step " << step << " (" << what << "): " << tk.second
+            << "\n  hist: " << history[tk]
+            << "\n  faults: " << history[{0, "faults"}];
+      }
+      for (const auto& [tk, v] : got) {
+        if (tk.first != table) continue;
+        ASSERT_TRUE(model.count(tk))
+            << "step " << step << " (" << what << "): resurrected "
+            << tk.second << " = " << v << "\n  hist: " << history[tk]
+            << "\n  faults: " << history[{0, "faults"}];
+      }
+    }
+  };
+
+  for (int step = 0; step < config.length; ++step) {
+    full_check(step, "pre");
+    const int t = static_cast<int>(rng.Uniform(2));
+    TransactionComponent* tc = cluster->tc(t);
+    const double r = rng.NextDouble();
+    if (r < 0.40) {
+      // Single-key upsert-or-delete transaction on an owned key.
+      const TableId table = pick_table();
+      const std::string key = pick_owned_key(t);
+      StatusOr<TxnId> txn = tc->Begin();
+      ASSERT_TRUE(txn.ok()) << "step " << step;
+      LoggedTxn logged;
+      bool ok;
+      if (model.count({table, key}) != 0 && rng.Bernoulli(0.4)) {
+        ok = tc->Delete(*txn, table, key).ok();
+        if (ok) logged.ops.push_back({LoggedOp::kDelete, table, key, ""});
+      } else {
+        const std::string value = "v" + std::to_string(step);
+        ok = tc->Upsert(*txn, table, key, value).ok();
+        if (ok) logged.ops.push_back({LoggedOp::kUpsert, table, key, value});
+      }
+      if (ok && tc->Commit(*txn).ok()) {
+        for (const auto& op : logged.ops) {
+          note(op.table, op.key,
+               std::to_string(step) + (op.kind == LoggedOp::kDelete
+                                           ? ":del"
+                                           : ":ups=" + op.value));
+          if (op.kind == LoggedOp::kDelete) {
+            model.erase({op.table, op.key});
+          } else {
+            model[{op.table, op.key}] = op.value;
+          }
+        }
+        committed.push_back(std::move(logged));
+      } else {
+        note(table, key, std::to_string(step) + ":failed-abort");
+        tc->Abort(*txn);
+      }
+    } else if (r < 0.55) {
+      // Multi-key transaction spanning both tables (and therefore both
+      // DCs) — commits atomically with no distributed coordination.
+      StatusOr<TxnId> txn = tc->Begin();
+      ASSERT_TRUE(txn.ok()) << "step " << step;
+      LoggedTxn logged;
+      bool ok = true;
+      const int nops = 2 + static_cast<int>(rng.Uniform(3));
+      for (int o = 0; o < nops && ok; ++o) {
+        const TableId table = o % 2 == 0 ? kTableA : kTableB;
+        const std::string key = pick_owned_key(t);
+        const std::string value =
+            "m" + std::to_string(step) + "-" + std::to_string(o);
+        ok = tc->Upsert(*txn, table, key, value).ok();
+        if (ok) logged.ops.push_back({LoggedOp::kUpsert, table, key, value});
+      }
+      if (ok && tc->Commit(*txn).ok()) {
+        for (const auto& op : logged.ops) {
+          note(op.table, op.key, std::to_string(step) + ":ups=" + op.value);
+          model[{op.table, op.key}] = op.value;
+        }
+        committed.push_back(std::move(logged));
+      } else {
+        for (const auto& op : logged.ops) {
+          note(op.table, op.key, std::to_string(step) + ":multi-abort");
+        }
+        tc->Abort(*txn);
+      }
+    } else if (r < 0.65) {
+      // Aborted transaction: its writes must leave no trace.
+      StatusOr<TxnId> txn = tc->Begin();
+      ASSERT_TRUE(txn.ok()) << "step " << step;
+      for (int o = 0; o < 2; ++o) {
+        const TableId table = pick_table();
+        const std::string key = pick_owned_key(t);
+        Status us = tc->Upsert(*txn, table, key, "aborted");
+        note(table, key, std::to_string(step) + ":aborted-ups(" +
+                             us.ToString() + ")");
+      }
+      ASSERT_TRUE(tc->Abort(*txn).ok()) << "step " << step;
+    } else if (r < 0.75) {
+      // Mid-flight consistency check: a serializable read must agree
+      // with the driver's model exactly (the driver is serial).
+      const TableId table = pick_table();
+      const std::string key = pick_key();
+      StatusOr<TxnId> txn = tc->Begin();
+      ASSERT_TRUE(txn.ok()) << "step " << step;
+      std::string value;
+      Status s = tc->Read(*txn, table, key, &value);
+      auto it = model.find({table, key});
+      if (it == model.end()) {
+        ASSERT_TRUE(s.IsNotFound())
+            << "step " << step << ": phantom value for " << key << ": "
+            << s.ToString();
+      } else {
+        ASSERT_TRUE(s.ok()) << "step " << step << ": lost " << key << ": "
+                            << s.ToString();
+        ASSERT_EQ(value, it->second)
+            << "step " << step << " table " << table << " key " << key
+            << "\n  hist: " << history[{table, key}]
+            << "\n  faults: " << history[{0, "faults"}];
+      }
+      tc->Commit(*txn);
+    } else if (r < 0.85) {
+      // Mid-flight credited streamed scan (the fetch-ahead fold under
+      // chaos): a random range must match the model range exactly.
+      const TableId table = pick_table();
+      const int lo = static_cast<int>(rng.Uniform(kKeySpace));
+      const int hi = lo + 1 + static_cast<int>(rng.Uniform(kKeySpace));
+      StatusOr<TxnId> txn = tc->Begin();
+      ASSERT_TRUE(txn.ok()) << "step " << step;
+      std::vector<std::pair<std::string, std::string>> rows;
+      ASSERT_TRUE(tc->Scan(*txn, table, Key(lo), Key(hi), 0, &rows).ok())
+          << "step " << step;
+      tc->Commit(*txn);
+      std::vector<std::pair<std::string, std::string>> expect;
+      for (const auto& [tk, v] : model) {
+        if (tk.first == table && tk.second >= Key(lo) && tk.second < Key(hi)) {
+          expect.emplace_back(tk.second, v);
+        }
+      }
+      if (rows != expect) {
+        // Diagnose before failing: is the row truly gone at the DC
+        // (recovery bug) or did only this scan miss it (scan bug)?
+        std::string diag = "scan [" + Key(lo) + ", " + Key(hi) +
+                           ") via tc" + std::to_string(t) + ":";
+        for (const auto& [k, v] : expect) {
+          std::string direct;
+          Status rs = tc->ReadShared(table, k, ReadFlavor::kDirty, &direct);
+          diag += "\n  " + k + " model=" + v + " readshared=" +
+                  (rs.ok() ? direct : rs.ToString());
+        }
+        std::vector<std::pair<std::string, std::string>> again;
+        tc->ScanShared(table, Key(lo), Key(hi), 0, ReadFlavor::kDirty,
+                       &again);
+        diag += "\n  rescan(shared) rows=" + std::to_string(again.size());
+        for (const auto& [k, v] : rows) {
+          diag += "\n  hist " + k + ": " + history[{table, k}];
+        }
+        diag += "\n  faults: " + history[{0, "faults"}];
+        ASSERT_EQ(rows, expect)
+            << "scan divergence at step " << step << "\n" << diag;
+      }
+    } else if (r < 0.90) {
+      // DC crash + recovery: every TC redo-resends to the revived DC.
+      const int d = static_cast<int>(rng.Uniform(2));
+      note(0, "faults", std::to_string(step) + ":dc" + std::to_string(d));
+      cluster->CrashDc(d);
+      ASSERT_TRUE(cluster->RecoverDc(d).ok()) << "step " << step;
+    } else if (r < 0.94) {
+      // TC crash + restart (runs the §6.1.2 escalation when shared
+      // pages were reset).
+      const int victim_t = static_cast<int>(rng.Uniform(2));
+      note(0, "faults", std::to_string(step) + ":tc" + std::to_string(victim_t));
+      cluster->CrashTc(victim_t);
+      ASSERT_TRUE(cluster->RestartTc(victim_t).ok()) << "step " << step;
+    } else if (r < 0.97) {
+      // TC crash with a transaction OPEN: the restart must undo it.
+      const int victim_t = static_cast<int>(rng.Uniform(2));
+      TransactionComponent* victim = cluster->tc(victim_t);
+      StatusOr<TxnId> txn = victim->Begin();
+      if (txn.ok()) {
+        for (int o = 0; o < 2; ++o) {
+          const TableId table = pick_table();
+          const std::string key = pick_owned_key(victim_t);
+          victim->Upsert(*txn, table, key, "lost-in-crash");
+          note(table, key, std::to_string(step) + ":lost-in-crash");
+        }
+      }
+      note(0, "faults",
+           std::to_string(step) + ":midtxn-tc" + std::to_string(victim_t));
+      cluster->CrashTc(victim_t);
+      ASSERT_TRUE(cluster->RestartTc(victim_t).ok()) << "step " << step;
+    } else {
+      // Checkpoint: advances the RSSP and truncates the log under chaos.
+      tc->TakeCheckpoint();  // best effort; timing out is not a failure
+    }
+  }
+
+  // Final state of the cluster, per table, via a serializable scan.
+  Model final_state;
+  for (TableId table : {kTableA, kTableB}) {
+    StatusOr<TxnId> txn = cluster->tc(0)->Begin();
+    ASSERT_TRUE(txn.ok());
+    std::vector<std::pair<std::string, std::string>> rows;
+    ASSERT_TRUE(
+        cluster->tc(0)->Scan(*txn, table, "", "", 0, &rows).ok());
+    cluster->tc(0)->Commit(*txn);
+    for (const auto& [k, v] : rows) final_state[{table, k}] = v;
+  }
+
+  // Replay the committed op log against the monolithic engine.
+  StableStoreOptions store_options;
+  store_options.page_size = 1024;
+  store_options.trailer_capacity = 128;
+  StableStore store(store_options);
+  monolithic::MonolithicEngine engine(&store);
+  ASSERT_TRUE(engine.Initialize().ok());
+  ASSERT_TRUE(engine.CreateTable(kTableA).ok());
+  ASSERT_TRUE(engine.CreateTable(kTableB).ok());
+  for (const LoggedTxn& logged : committed) {
+    TxnId txn = std::move(engine.Begin()).ValueOrDie();
+    for (const auto& op : logged.ops) {
+      if (op.kind == LoggedOp::kDelete) {
+        ASSERT_TRUE(engine.Delete(txn, op.table, op.key).ok());
+      } else {
+        // Monolith has no upsert; emulate.
+        std::string existing;
+        if (engine.Read(txn, op.table, op.key, &existing).ok()) {
+          ASSERT_TRUE(engine.Update(txn, op.table, op.key, op.value).ok());
+        } else {
+          ASSERT_TRUE(engine.Insert(txn, op.table, op.key, op.value).ok());
+        }
+      }
+    }
+    ASSERT_TRUE(engine.Commit(txn).ok());
+  }
+  Model replay_state;
+  for (TableId table : {kTableA, kTableB}) {
+    TxnId txn = std::move(engine.Begin()).ValueOrDie();
+    std::vector<std::pair<std::string, std::string>> rows;
+    ASSERT_TRUE(engine.Scan(txn, table, "", "", 0, &rows).ok());
+    engine.Commit(txn);
+    for (const auto& [k, v] : rows) replay_state[{table, k}] = v;
+  }
+
+  // The three views — live cluster, monolithic replay, driver model —
+  // must agree key for key, value for value.
+  EXPECT_EQ(replay_state.size(), model.size())
+      << "harness bug: replay and model disagree";
+  ASSERT_EQ(final_state.size(), replay_state.size())
+      << "cluster and monolithic replay diverged in row count";
+  for (const auto& [tk, v] : replay_state) {
+    auto it = final_state.find(tk);
+    ASSERT_TRUE(it != final_state.end())
+        << "table " << tk.first << " key " << tk.second
+        << " only in the monolithic replay";
+    ASSERT_EQ(it->second, v) << "value divergence at table " << tk.first
+                             << " key " << tk.second;
+  }
+
+  // No §1.2 contract violations anywhere in the topology.
+  EXPECT_EQ(cluster->dc(0)->stats().conflicts_detected.load(), 0u);
+  EXPECT_EQ(cluster->dc(1)->stats().conflicts_detected.load(), 0u);
+}
+
+std::string ChaosName(const ::testing::TestParamInfo<ChaosConfig>& info) {
+  return "seed" + std::to_string(info.param.seed) + "drop" +
+         std::to_string(static_cast<int>(info.param.drop * 1000)) + "dup" +
+         std::to_string(static_cast<int>(info.param.dup * 1000));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultConfigs, ClusterChaosTest,
+    ::testing::Values(
+        // Reorder-only, drop-heavy, dup-heavy, everything at once, and
+        // a heavy-loss soak.
+        ChaosConfig{11, 0.0, 0.0, 400, 260},
+        ChaosConfig{22, 0.02, 0.0, 200, 220},
+        ChaosConfig{33, 0.0, 0.04, 200, 220},
+        ChaosConfig{44, 0.03, 0.03, 500, 220},
+        ChaosConfig{55, 0.05, 0.03, 600, 160}),
+    ChaosName);
+
+}  // namespace
+}  // namespace untx
