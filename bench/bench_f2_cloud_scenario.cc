@@ -13,21 +13,31 @@ namespace untx {
 namespace cloud {
 namespace {
 
+std::unique_ptr<MovieSite> OpenSite(TransportKind transport) {
+  MovieSiteConfig config;
+  config.num_users = 200;
+  config.num_movies = 50;
+  config.versioning = true;
+  config.transport = transport;
+  auto s = std::move(MovieSite::Open(config)).ValueOrDie();
+  s->Setup();
+  // Seed reviews so W1/W4 have data.
+  for (uint32_t uid = 0; uid < config.num_users; ++uid) {
+    s->W2AddReview(uid, uid % config.num_movies, "seed review");
+  }
+  return s;
+}
+
 MovieSite* GetSite() {
-  static std::unique_ptr<MovieSite> site = [] {
-    MovieSiteConfig config;
-    config.num_users = 200;
-    config.num_movies = 50;
-    config.versioning = true;
-    config.transport = TransportKind::kChannel;
-    auto s = std::move(MovieSite::Open(config)).ValueOrDie();
-    s->Setup();
-    // Seed reviews so W1/W4 have data.
-    for (uint32_t uid = 0; uid < config.num_users; ++uid) {
-      s->W2AddReview(uid, uid % config.num_movies, "seed review");
-    }
-    return s;
-  }();
+  static std::unique_ptr<MovieSite> site = OpenSite(TransportKind::kChannel);
+  return site.get();
+}
+
+/// The same topology with every binding over loopback TCP (untx_dcd's
+/// server machinery in-process). The wire counters must match the
+/// channel arm — the frame codec carries identical batching.
+MovieSite* GetSocketSite() {
+  static std::unique_ptr<MovieSite> site = OpenSite(TransportKind::kSocket);
   return site.get();
 }
 
@@ -137,6 +147,43 @@ void BM_W2_AddReview(benchmark::State& state) {
   wire.ReportPromotes(state);
 }
 BENCHMARK(BM_W2_AddReview);
+
+// ---- Socket arm: W1/W2 over real loopback TCP. The msgs/txn and
+// scan counters must match the channel arm (same coalescing, same
+// frames); only the ns/op differs by the kernel socket hop. ----------------
+
+void BM_W1_GetMovieReviews_Socket(benchmark::State& state) {
+  MovieSite* site = GetSocketSite();
+  WireCounters wire(site->cluster());
+  uint32_t mid = 0;
+  uint64_t reviews_returned = 0;
+  for (auto _ : state) {
+    std::vector<std::pair<std::string, std::string>> reviews;
+    site->W1GetMovieReviews(mid++ % site->config().num_movies, &reviews);
+    reviews_returned += reviews.size();
+  }
+  state.counters["reviews/op"] =
+      benchmark::Counter(static_cast<double>(reviews_returned),
+                         benchmark::Counter::kAvgIterations);
+  wire.ReportScans(state);
+}
+BENCHMARK(BM_W1_GetMovieReviews_Socket);
+
+void BM_W2_AddReview_Socket(benchmark::State& state) {
+  MovieSite* site = GetSocketSite();
+  WireCounters wire(site->cluster());
+  uint32_t i = 1000;
+  for (auto _ : state) {
+    const uint32_t uid = i % site->config().num_users;
+    const uint32_t mid = (i / 7) % site->config().num_movies;
+    site->W2AddReview(uid, mid, "bench review");
+    ++i;
+  }
+  state.counters["dcs_touched"] = 2;
+  wire.Report(state);
+  wire.ReportPromotes(state);
+}
+BENCHMARK(BM_W2_AddReview_Socket);
 
 void BM_W3_UpdateProfile(benchmark::State& state) {
   MovieSite* site = GetSite();

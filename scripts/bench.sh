@@ -7,11 +7,12 @@
 #   BENCH_ARGS  extra args for every bench binary (e.g. --benchmark_filter=...)
 #
 # Benches: C1 (range locking + streamed-scan arm), C9 (logging / group
-# commit), C10 (pipelining msgs/txn), F2 (Figure 2 cloud scenario).
+# commit), C10 (pipelining msgs/txn), F2 (Figure 2 cloud scenario —
+# channel AND loopback-TCP socket arms; their msgs/txn must match).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR4.json}"
+OUT="${1:-BENCH_PR6.json}"
 BUILD_DIR="${BUILD_DIR:-build-bench}"
 BENCHES=(bench_c1_range_locking bench_c9_logging bench_c10_pipelining
          bench_f2_cloud_scenario)

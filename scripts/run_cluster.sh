@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Launches the Figure 2 topology as real processes: 2 untx_dcd
+# DataComponent daemons on loopback TCP, 2 untx_tcd TransactionComponent
+# daemons running a seeded workload against them, then a final recover +
+# dump pass. Everything (journals, TC stable logs, dumps, daemon logs)
+# lands in the workdir.
+#
+# Usage: scripts/run_cluster.sh [workdir] [steps]
+#   BUILD_DIR  where the daemons were built (default: build)
+#
+# Try it: kill -9 one of the printed PIDs mid-run and watch the others
+# rebuild it — a killed DC comes back EMPTY and is repopulated by the
+# TCs' redo-resend; a killed TC is relaunched here with --recover and
+# replays its file-backed stable log.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORKDIR="${1:-/tmp/untx_cluster}"
+STEPS="${2:-200}"
+BUILD_DIR="${BUILD_DIR:-build}"
+DCD="$BUILD_DIR/untx_dcd"
+TCD="$BUILD_DIR/untx_tcd"
+[[ -x "$DCD" && -x "$TCD" ]] || {
+  echo "daemons not built; run: cmake --build $BUILD_DIR --target untx_dcd untx_tcd" >&2
+  exit 1
+}
+
+rm -rf "$WORKDIR"
+mkdir -p "$WORKDIR"
+PIDS=()
+cleanup() {
+  kill "${PIDS[@]}" 2>/dev/null || true
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+"$DCD" --port 0 --port_file "$WORKDIR/dc0.port" 2>"$WORKDIR/dc0.log" &
+PIDS+=($!)
+"$DCD" --port 0 --port_file "$WORKDIR/dc1.port" 2>"$WORKDIR/dc1.log" &
+PIDS+=($!)
+for _ in $(seq 100); do
+  [[ -s "$WORKDIR/dc0.port" && -s "$WORKDIR/dc1.port" ]] && break
+  sleep 0.1
+done
+P0="$(cat "$WORKDIR/dc0.port")"
+P1="$(cat "$WORKDIR/dc1.port")"
+DCS="127.0.0.1:$P0,127.0.0.1:$P1"
+echo "dc0 pid=${PIDS[0]} port=$P0   dc1 pid=${PIDS[1]} port=$P1"
+
+TC_PIDS=()
+for id in 1 2; do
+  "$TCD" --tc_id "$id" --dcs "$DCS" --workdir "$WORKDIR" \
+    --seed "$((40 + id))" --steps "$STEPS" --step_sleep_ms 5 \
+    2>"$WORKDIR/tc$id.log" &
+  TC_PIDS+=($!)
+  PIDS+=($!)
+  echo "tc$id pid=$!"
+done
+
+FAIL=0
+for pid in "${TC_PIDS[@]}"; do
+  wait "$pid" || FAIL=1
+done
+if [[ "$FAIL" != 0 ]]; then
+  echo "a TC daemon died mid-workload; relaunching both with --recover"
+  for id in 1 2; do
+    "$TCD" --tc_id "$id" --dcs "$DCS" --workdir "$WORKDIR" \
+      --seed "$((40 + id))" --steps 0 --recover \
+      2>>"$WORKDIR/tc$id.log" || true
+  done
+fi
+
+echo "workload done; final recover + dump pass"
+for id in 1 2; do
+  "$TCD" --tc_id "$id" --dcs "$DCS" --workdir "$WORKDIR" \
+    --seed "$((40 + id))" --steps 0 --recover --dump \
+    2>"$WORKDIR/tc${id}d.log"
+done
+
+echo "--- committed rows ---"
+for id in 1 2; do
+  rows="$(grep -cv '^END$' "$WORKDIR/tc$id.dump" || true)"
+  committed="$(grep -c '^C' "$WORKDIR/tc$id.journal" || true)"
+  echo "tc$id: $committed committed transactions, $rows live rows" \
+       "(journal: $WORKDIR/tc$id.journal, dump: $WORKDIR/tc$id.dump)"
+done

@@ -1,0 +1,98 @@
+// untx_dcd: the DataComponent daemon — one process per DC in the
+// separate-processes deployment (Figure 2 run cloud-style). Hosts a
+// DataComponent behind a SocketServer; every TC session multiplexes
+// onto the shared worker pool.
+//
+// The page store is process-volatile: a SIGKILL'd DC comes back EMPTY,
+// and the TCs rebuild it end to end with the §5.2.2 redo-resend
+// protocol over the re-dialed connection (untx_tcd watches the
+// binding's connect epoch). That is the point of the unbundling: the
+// TC's logical log is the recovery source of truth, the DC only has to
+// apply redo idempotently (abLSNs).
+//
+//   untx_dcd --port 0 --port_file /tmp/dc0.port [--host 127.0.0.1]
+//            [--workers 2]
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "dc/data_component.h"
+#include "net/socket_server.h"
+#include "storage/stable_store.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnSignal(int) { g_stop = 1; }
+
+const char* FlagValue(int argc, char** argv, int* i, const char* name) {
+  if (std::strcmp(argv[*i], name) != 0) return nullptr;
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "untx_dcd: %s needs a value\n", name);
+    std::exit(2);
+  }
+  return argv[++*i];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  untx::SocketServerOptions options;
+  std::string port_file;
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = FlagValue(argc, argv, &i, "--port")) {
+      options.port = static_cast<uint16_t>(std::atoi(v));
+    } else if (const char* v = FlagValue(argc, argv, &i, "--port_file")) {
+      port_file = v;
+    } else if (const char* v = FlagValue(argc, argv, &i, "--host")) {
+      options.host = v;
+    } else if (const char* v = FlagValue(argc, argv, &i, "--workers")) {
+      options.workers = std::atoi(v);
+    } else {
+      std::fprintf(stderr, "untx_dcd: unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGINT, OnSignal);
+
+  untx::StableStore store;
+  untx::DataComponent dc(&store);
+  untx::Status s = dc.Initialize();
+  if (!s.ok()) {
+    std::fprintf(stderr, "untx_dcd: init: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  untx::SocketServer server(&dc, options);
+  s = server.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "untx_dcd: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "untx_dcd: serving on %s:%u\n", options.host.c_str(),
+               server.port());
+  if (!port_file.empty()) {
+    // Write-then-rename so a polling launcher never reads a torn file.
+    const std::string tmp = port_file + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "untx_dcd: cannot write %s\n", tmp.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u\n", server.port());
+    std::fclose(f);
+    std::rename(tmp.c_str(), port_file.c_str());
+  }
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr, "untx_dcd: shutting down\n");
+  server.Stop();
+  return 0;
+}

@@ -1,0 +1,358 @@
+// untx_tcd: the TransactionComponent daemon — one process per TC in
+// the separate-processes deployment. Owns the TC kernel (locks, logical
+// redo/undo log, resend-until-ack) over socket bindings to the untx_dcd
+// processes, runs a seeded upsert/delete workload against its own
+// tables, and journals every transaction's intent and outcome so an
+// external harness can diff the cluster's committed state against a
+// monolithic replay.
+//
+// Recovery:
+//   * DC death: a watcher thread polls each binding. On a connect-epoch
+//     bump after traffic flowed it treats the DC as possibly restarted
+//     and runs OnDcRestart — redo-resend from the RSSP over the fresh
+//     connection. The daemon never checkpoints, so the RSSP stays at
+//     log start and a SIGKILL'd (empty) DC is rebuilt end to end,
+//     tables included.
+//   * TC death: relaunch with --recover. The TC kernel log is
+//     file-backed (--workdir/tc<ID>.wal); Restart() runs the §5.3.2
+//     protocol against it: reset DCs to the stable log end, redo from
+//     the RSSP, undo losers.
+//
+//   untx_tcd --tc_id 1 --dcs 127.0.0.1:7001,127.0.0.1:7002 \
+//            --workdir /tmp/cluster --seed 7 --steps 100 [--phase 1]
+//            [--recover] [--dump] [--step_sleep_ms 0]
+//
+// Journal lines (append-only, one fflush per line):
+//   I <seq> <n> {<table> U <key> <value> | <table> D <key>} * n
+//   C <seq>      committed
+//   A <seq>      aborted (driver-observed; a missing outcome line is a
+//                transaction in doubt at a kill — the kernel's restart
+//                protocol decides it, the dump shows the decision)
+// Dump lines (--dump): "<table> <key> <value>", terminated by "END".
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket_transport.h"
+#include "tc/transaction_component.h"
+
+namespace {
+
+using untx::DcId;
+using untx::TableId;
+using untx::TcId;
+
+const char* FlagValue(int argc, char** argv, int* i, const char* name) {
+  if (std::strcmp(argv[*i], name) != 0) return nullptr;
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "untx_tcd: %s needs a value\n", name);
+    std::exit(2);
+  }
+  return argv[++*i];
+}
+
+bool ParseEndpoints(const std::string& spec,
+                    std::map<DcId, untx::SocketEndpoint>* out) {
+  std::stringstream ss(spec);
+  std::string item;
+  DcId d = 0;
+  while (std::getline(ss, item, ',')) {
+    const size_t colon = item.rfind(':');
+    if (colon == std::string::npos) return false;
+    untx::SocketEndpoint ep;
+    ep.host = item.substr(0, colon);
+    ep.port = static_cast<uint16_t>(std::atoi(item.c_str() + colon + 1));
+    if (ep.host.empty() || ep.port == 0) return false;
+    (*out)[d++] = ep;
+  }
+  return !out->empty();
+}
+
+/// Highest transaction seq already journaled (0 if none): the relaunch
+/// continues numbering after it.
+uint64_t JournalMaxSeq(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) return 0;
+  uint64_t max_seq = 0;
+  char line[4096];
+  while (std::fgets(line, sizeof(line), f)) {
+    char kind;
+    unsigned long long seq;
+    if (std::sscanf(line, "%c %llu", &kind, &seq) == 2) {
+      if (seq > max_seq) max_seq = seq;
+    }
+  }
+  std::fclose(f);
+  return max_seq;
+}
+
+struct Op {
+  TableId table;
+  bool is_delete;
+  std::string key;
+  std::string value;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TcId tc_id = 1;
+  std::string dcs_spec;
+  std::string workdir = ".";
+  uint64_t seed = 1;
+  uint64_t steps = 0;
+  uint64_t phase = 0;
+  int step_sleep_ms = 0;
+  bool recover = false;
+  bool dump = false;
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = FlagValue(argc, argv, &i, "--tc_id")) {
+      tc_id = static_cast<TcId>(std::atoi(v));
+    } else if (const char* v = FlagValue(argc, argv, &i, "--dcs")) {
+      dcs_spec = v;
+    } else if (const char* v = FlagValue(argc, argv, &i, "--workdir")) {
+      workdir = v;
+    } else if (const char* v = FlagValue(argc, argv, &i, "--seed")) {
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = FlagValue(argc, argv, &i, "--steps")) {
+      steps = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = FlagValue(argc, argv, &i, "--phase")) {
+      phase = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = FlagValue(argc, argv, &i, "--step_sleep_ms")) {
+      step_sleep_ms = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--recover") == 0) {
+      recover = true;
+    } else if (std::strcmp(argv[i], "--dump") == 0) {
+      dump = true;
+    } else {
+      std::fprintf(stderr, "untx_tcd: unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::map<DcId, untx::SocketEndpoint> endpoints;
+  if (!ParseEndpoints(dcs_spec, &endpoints)) {
+    std::fprintf(stderr, "untx_tcd: bad --dcs '%s'\n", dcs_spec.c_str());
+    return 2;
+  }
+  const int num_dcs = static_cast<int>(endpoints.size());
+  const std::string id_str = std::to_string(tc_id);
+  const std::string wal_path = workdir + "/tc" + id_str + ".wal";
+  const std::string journal_path = workdir + "/tc" + id_str + ".journal";
+  const std::string dump_path = workdir + "/tc" + id_str + ".dump";
+
+  // This TC owns tables tc_id*100 + {1, 2}; a table lives on DC
+  // (table % num_dcs), so a two-table TC always spans both DCs of the
+  // Figure 2 topology.
+  std::vector<TableId> tables = {static_cast<TableId>(tc_id * 100 + 1),
+                                 static_cast<TableId>(tc_id * 100 + 2)};
+  untx::Router router = [num_dcs](TableId table, const std::string&) {
+    return static_cast<DcId>(table % num_dcs);
+  };
+
+  auto factory = untx::MakeSocketTransportFactory(endpoints);
+  std::vector<std::unique_ptr<untx::BoundTransport>> bindings;
+  std::vector<untx::DcBinding> dc_bindings;
+  for (int d = 0; d < num_dcs; ++d) {
+    bindings.push_back(
+        factory->Bind(tc_id, static_cast<DcId>(d), /*target=*/nullptr));
+    dc_bindings.push_back(
+        untx::DcBinding{static_cast<DcId>(d), bindings.back()->client()});
+  }
+
+  untx::TcOptions options;
+  options.tc_id = tc_id;
+  options.log.path = wal_path;
+  options.resend_interval_ms = 100;
+  options.op_timeout_ms = 8000;
+  options.commit_timeout_ms = 8000;
+  auto tc = std::make_unique<untx::TransactionComponent>(options, dc_bindings,
+                                                         router);
+  for (auto& binding : bindings) binding->Start();
+  untx::Status s = tc->Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "untx_tcd: start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (recover) {
+    std::vector<TcId> escalate;
+    s = tc->Restart(&escalate);
+    if (!s.ok()) {
+      std::fprintf(stderr, "untx_tcd: restart: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "untx_tcd[%s]: restart done (stable log replayed)\n",
+                 id_str.c_str());
+  } else {
+    for (TableId t : tables) {
+      s = tc->CreateTable(t, /*routing_key=*/"");
+      if (!s.ok()) {
+        std::fprintf(stderr, "untx_tcd: create table %u: %s\n", t,
+                     s.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+
+  // Watcher: a connect-epoch bump after the initial dial means the DC
+  // endpoint answered a fresh dial — it may be a restarted (empty)
+  // process, so run the redo-resend protocol. Redundant redo is
+  // idempotent (abLSNs), so a mere network blip costs only the resend.
+  std::atomic<bool> watch_stop{false};
+  std::vector<uint64_t> last_epoch(num_dcs, 0);
+  std::vector<untx::SocketBoundTransport*> socket_bindings;
+  for (auto& binding : bindings) {
+    socket_bindings.push_back(
+        static_cast<untx::SocketBoundTransport*>(binding.get()));
+  }
+  for (int d = 0; d < num_dcs; ++d) {
+    last_epoch[d] = socket_bindings[d]->connect_epoch();
+  }
+  std::thread watcher([&] {
+    std::vector<bool> was_connected(num_dcs, true);
+    while (!watch_stop.load()) {
+      for (int d = 0; d < num_dcs; ++d) {
+        const bool connected = socket_bindings[d]->connected();
+        if (was_connected[d] && !connected) {
+          // Gate new traffic to the DC until redo reopens it.
+          tc->OnDcCrash(static_cast<DcId>(d));
+        }
+        const uint64_t epoch = socket_bindings[d]->connect_epoch();
+        if (connected && epoch != last_epoch[d]) {
+          last_epoch[d] = epoch;
+          std::fprintf(stderr,
+                       "untx_tcd[%s]: dc %d reconnected (epoch %llu), "
+                       "running redo-resend\n",
+                       id_str.c_str(), d,
+                       static_cast<unsigned long long>(epoch));
+          untx::Status rs = tc->OnDcRestart(static_cast<DcId>(d));
+          if (!rs.ok()) {
+            std::fprintf(stderr, "untx_tcd[%s]: redo to dc %d: %s\n",
+                         id_str.c_str(), d, rs.ToString().c_str());
+          }
+        }
+        was_connected[d] = connected;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+  });
+
+  std::FILE* journal = std::fopen(journal_path.c_str(), "a");
+  if (!journal) {
+    std::fprintf(stderr, "untx_tcd: cannot open %s\n", journal_path.c_str());
+    return 1;
+  }
+  const uint64_t first_seq = JournalMaxSeq(journal_path) + 1;
+
+  std::mt19937_64 rng(seed * 1000003 + phase * 1000 + tc_id);
+  uint64_t committed = 0, aborted = 0;
+  for (uint64_t step = 0; step < steps; ++step) {
+    const uint64_t seq = first_seq + step;
+    const int nops = 1 + static_cast<int>(rng() % 3);
+    std::vector<Op> ops;
+    std::string intent = "I " + std::to_string(seq) + " " +
+                         std::to_string(nops);
+    for (int o = 0; o < nops; ++o) {
+      Op op;
+      op.table = tables[rng() % tables.size()];
+      op.key = "k" + std::to_string(rng() % 24);
+      op.is_delete = (rng() % 10) < 2;
+      if (op.is_delete) {
+        intent += " " + std::to_string(op.table) + " D " + op.key;
+      } else {
+        op.value = "v" + id_str + "-" + std::to_string(seq) + "-" +
+                   std::to_string(o);
+        intent += " " + std::to_string(op.table) + " U " + op.key + " " +
+                  op.value;
+      }
+      ops.push_back(std::move(op));
+    }
+    // Intent is durable before the first write ships: a kill between
+    // here and the outcome line leaves a transaction in doubt that the
+    // kernel's restart protocol (not the journal) decides.
+    std::fprintf(journal, "%s\n", intent.c_str());
+    std::fflush(journal);
+
+    untx::StatusOr<untx::TxnId> txn = tc->Begin();
+    if (!txn.ok()) {
+      std::fprintf(journal, "A %llu\n",
+                   static_cast<unsigned long long>(seq));
+      std::fflush(journal);
+      ++aborted;
+      continue;
+    }
+    bool ok = true;
+    for (const Op& op : ops) {
+      untx::Status os = op.is_delete
+                            ? tc->Delete(*txn, op.table, op.key)
+                            : tc->Upsert(*txn, op.table, op.key, op.value);
+      // A delete of an absent key is a no-op for state; any other
+      // failure aborts the transaction.
+      if (!os.ok() && !(op.is_delete && os.IsNotFound())) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && tc->Commit(*txn).ok()) {
+      std::fprintf(journal, "C %llu\n",
+                   static_cast<unsigned long long>(seq));
+      ++committed;
+    } else {
+      tc->Abort(*txn);
+      std::fprintf(journal, "A %llu\n",
+                   static_cast<unsigned long long>(seq));
+      ++aborted;
+    }
+    std::fflush(journal);
+    if (step_sleep_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(step_sleep_ms));
+    }
+  }
+  std::fclose(journal);
+  std::fprintf(stderr, "untx_tcd[%s]: workload done (%llu committed, %llu aborted)\n",
+               id_str.c_str(), static_cast<unsigned long long>(committed),
+               static_cast<unsigned long long>(aborted));
+
+  int rc = 0;
+  if (dump) {
+    const std::string tmp = dump_path + ".tmp";
+    std::FILE* out = std::fopen(tmp.c_str(), "w");
+    if (!out) {
+      std::fprintf(stderr, "untx_tcd: cannot write %s\n", tmp.c_str());
+      rc = 1;
+    } else {
+      for (TableId t : tables) {
+        std::vector<std::pair<std::string, std::string>> rows;
+        untx::Status ss = tc->ScanShared(t, "", "", 0,
+                                         untx::ReadFlavor::kDirty, &rows);
+        if (!ss.ok()) {
+          std::fprintf(stderr, "untx_tcd: scan %u: %s\n", t,
+                       ss.ToString().c_str());
+          rc = 1;
+          break;
+        }
+        for (const auto& [k, v] : rows) {
+          std::fprintf(out, "%u %s %s\n", t, k.c_str(), v.c_str());
+        }
+      }
+      if (rc == 0) std::fprintf(out, "END\n");
+      std::fclose(out);
+      if (rc == 0) std::rename(tmp.c_str(), dump_path.c_str());
+    }
+  }
+
+  watch_stop.store(true);
+  watcher.join();
+  tc->Stop();
+  for (auto& binding : bindings) binding->Stop();
+  return rc;
+}

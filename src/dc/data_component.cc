@@ -1002,6 +1002,8 @@ void DataComponent::EvictScanCursorsForTc(TcId tc) {
   }
 }
 
+void DataComponent::OnTcDisconnect(TcId tc) { EvictScanCursorsForTc(tc); }
+
 void DataComponent::ClearScanCursors() {
   std::lock_guard<std::mutex> guard(cursor_mu_);
   cursors_.clear();

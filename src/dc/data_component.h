@@ -139,6 +139,12 @@ class DataComponent : public DcService {
 
   /// Open (parked or in-production) scan cursors. For tests.
   size_t ScanCursorCount() const;
+  /// A TC's network session dropped: evict its parked scan cursors (a
+  /// reconnecting TC restarts streams from scratch). The reply cache is
+  /// deliberately KEPT — the TC will resend in-flight ops after the
+  /// redial and idempotence depends on the cached replies; the LWM prunes
+  /// them as always (§4.2).
+  void OnTcDisconnect(TcId tc);
   /// Evicts cursors idle longer than the TTL; returns how many. Runs
   /// implicitly on every stream open / credit; exposed for tests.
   size_t EvictIdleScanCursors();

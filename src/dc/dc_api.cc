@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/coding.h"
+#include "net/frame.h"
 
 namespace untx {
 
@@ -355,17 +356,18 @@ bool ControlReply::DecodeFrom(Slice* input, ControlReply* out) {
 }
 
 std::string WrapMessage(MessageKind kind, const std::string& body) {
-  std::string wire;
-  wire.reserve(body.size() + 1);
-  wire.push_back(static_cast<char>(kind));
-  wire.append(body);
-  return wire;
+  return EncodeFrame(static_cast<uint8_t>(kind), body);
 }
 
 bool UnwrapMessage(const std::string& wire, MessageKind* kind, Slice* body) {
-  if (wire.empty()) return false;
-  *kind = static_cast<MessageKind>(wire[0]);
-  *body = Slice(wire.data() + 1, wire.size() - 1);
+  uint8_t raw_kind = 0;
+  size_t consumed = 0;
+  if (DecodeFrame(wire.data(), wire.size(), &raw_kind, body, &consumed) !=
+          FrameDecode::kOk ||
+      consumed != wire.size()) {
+    return false;
+  }
+  *kind = static_cast<MessageKind>(raw_kind);
   return true;
 }
 

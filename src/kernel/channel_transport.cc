@@ -11,7 +11,11 @@ ChannelTransport::ChannelTransport(DataComponent* dc,
       options_(options),
       request_ch_(options.request_channel),
       reply_ch_(options.reply_channel),
-      client_(this) {}
+      client_(this),
+      coalescer_(options.coalesce(),
+                 [this](const std::vector<OperationRequest>& batch) {
+                   client_.SendOperationBatch(batch);
+                 }) {}
 
 ChannelTransport::~ChannelTransport() { Stop(); }
 
@@ -21,21 +25,17 @@ void ChannelTransport::Start() {
     servers_.emplace_back([this] { ServerLoop(); });
   }
   dispatcher_ = std::thread([this] { DispatchLoop(); });
-  flusher_ = std::thread([this] { FlushLoop(); });
+  coalescer_.Start();
 }
 
 void ChannelTransport::Stop() {
   stop_.store(true);
-  {
-    std::lock_guard<std::mutex> guard(flush_mu_);
-    flush_cv_.notify_all();
-  }
+  coalescer_.Stop();
   for (auto& t : servers_) {
     if (t.joinable()) t.join();
   }
   servers_.clear();
   if (dispatcher_.joinable()) dispatcher_.join();
-  if (flusher_.joinable()) flusher_.join();
 }
 
 void ChannelTransport::OnDcCrash() { request_ch_.Clear(); }
@@ -86,53 +86,11 @@ void ChannelTransport::Client::SendScanCredit(const ScanCreditRequest& req) {
 }
 
 void ChannelTransport::Client::QueueOperation(const OperationRequest& req) {
-  std::vector<OperationRequest> full;
-  bool first = false;
-  {
-    std::lock_guard<std::mutex> guard(pending_mu_);
-    pending_.push_back(req);
-    const auto now = std::chrono::steady_clock::now();
-    last_enqueue_ = now;
-    first = pending_.size() == 1;
-    if (first) oldest_enqueue_ = now;
-    if (pending_.size() >= transport_->options_.max_batch_ops) {
-      full.swap(pending_);
-    }
-  }
-  if (!full.empty()) {
-    SendOperationBatch(full);
-    return;
-  }
-  if (first) {
-    // Arm the window flusher for a queue that just became non-empty.
-    std::lock_guard<std::mutex> guard(transport_->flush_mu_);
-    transport_->flush_cv_.notify_one();
-  }
+  transport_->coalescer_.Queue(req);
 }
 
 void ChannelTransport::Client::FlushOperations() {
-  std::vector<OperationRequest> batch;
-  {
-    std::lock_guard<std::mutex> guard(pending_mu_);
-    if (pending_.empty()) return;
-    batch.swap(pending_);
-  }
-  SendOperationBatch(batch);
-}
-
-bool ChannelTransport::Client::HasPending() const {
-  std::lock_guard<std::mutex> guard(pending_mu_);
-  return !pending_.empty();
-}
-
-bool ChannelTransport::Client::PendingAges(
-    std::chrono::steady_clock::time_point* oldest,
-    std::chrono::steady_clock::time_point* newest) const {
-  std::lock_guard<std::mutex> guard(pending_mu_);
-  if (pending_.empty()) return false;
-  *oldest = oldest_enqueue_;
-  *newest = last_enqueue_;
-  return true;
+  transport_->coalescer_.Flush();
 }
 
 void ChannelTransport::Client::SendControl(const ControlRequest& req) {
@@ -140,53 +98,6 @@ void ChannelTransport::Client::SendControl(const ControlRequest& req) {
   req.EncodeTo(&body);
   transport_->request_ch_.Send(
       WrapMessage(MessageKind::kControlRequest, body));
-}
-
-void ChannelTransport::FlushLoop() {
-  // Safety net for queued ops whose caller never awaits: bounds the time
-  // an op can sit in the coalescing buffer. Sleeps until a queue becomes
-  // non-empty, then applies the coalescing policy — zero wakeups idle.
-  using Clock = std::chrono::steady_clock;
-  for (;;) {
-    {
-      std::unique_lock<std::mutex> lock(flush_mu_);
-      flush_cv_.wait_for(
-          lock, std::chrono::milliseconds(50),
-          [this] { return stop_.load() || client_.HasPending(); });
-    }
-    if (stop_.load()) return;
-    if (!client_.HasPending()) continue;
-    if (options_.coalesce_policy == CoalescePolicy::kFixedWindow) {
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(options_.coalesce_window_us));
-      client_.FlushOperations();
-      continue;
-    }
-    // Adaptive: flush on submitter quiescence (no enqueue for
-    // coalesce_idle_us) or when the oldest op hits the latency target.
-    const auto idle = std::chrono::microseconds(options_.coalesce_idle_us);
-    const auto max_delay =
-        std::chrono::microseconds(options_.coalesce_max_delay_us);
-    for (;;) {
-      if (stop_.load()) return;
-      Clock::time_point oldest, newest;
-      if (!client_.PendingAges(&oldest, &newest)) break;  // drained
-      const auto now = Clock::now();
-      if (now - oldest >= max_delay) {
-        coalesce_deadline_flushes_.fetch_add(1);
-        client_.FlushOperations();
-        break;
-      }
-      if (now - newest >= idle) {
-        coalesce_idle_flushes_.fetch_add(1);
-        client_.FlushOperations();
-        break;
-      }
-      const auto until_deadline = (oldest + max_delay) - now;
-      const auto until_idle = (newest + idle) - now;
-      std::this_thread::sleep_for(std::min(until_deadline, until_idle));
-    }
-  }
 }
 
 void ChannelTransport::EmitChunk(const ScanStreamChunk& chunk) {

@@ -13,22 +13,11 @@
 #include <vector>
 
 #include "dc/data_component.h"
+#include "kernel/op_coalescer.h"
 #include "net/sim_channel.h"
 #include "tc/dc_client.h"
 
 namespace untx {
-
-/// When the background flusher pushes a coalescing queue onto the wire.
-enum class CoalescePolicy : uint8_t {
-  /// Legacy: sleep a fixed coalesce_window_us after the queue becomes
-  /// non-empty, then flush — load-oblivious.
-  kFixedWindow = 0,
-  /// Flush when the submitters go quiescent (no new op for
-  /// coalesce_idle_us) or when the oldest queued op has waited
-  /// coalesce_max_delay_us (the latency target), whichever first. Under
-  /// load batches fill naturally; a lone op ships almost immediately.
-  kAdaptive = 1,
-};
 
 struct ChannelTransportOptions {
   ChannelOptions request_channel;
@@ -46,6 +35,17 @@ struct ChannelTransportOptions {
   /// kAdaptive: hard latency target — the oldest queued op never waits
   /// longer than this for the batch to fill.
   uint32_t coalesce_max_delay_us = 250;
+
+  /// The shared-coalescer view of the knobs above.
+  CoalesceOptions coalesce() const {
+    CoalesceOptions c;
+    c.max_batch_ops = max_batch_ops;
+    c.policy = coalesce_policy;
+    c.window_us = coalesce_window_us;
+    c.idle_us = coalesce_idle_us;
+    c.max_delay_us = coalesce_max_delay_us;
+    return c;
+  }
 };
 
 /// Owns the channels and threads binding one TC to one DC.
@@ -101,11 +101,9 @@ class ChannelTransport {
     return promote_ops_carried_.load();
   }
   /// Adaptive-coalescing flush reasons (diagnostics for tuning).
-  uint64_t coalesce_idle_flushes() const {
-    return coalesce_idle_flushes_.load();
-  }
+  uint64_t coalesce_idle_flushes() const { return coalescer_.idle_flushes(); }
   uint64_t coalesce_deadline_flushes() const {
-    return coalesce_deadline_flushes_.load();
+    return coalescer_.deadline_flushes();
   }
 
   const ChannelTransportOptions& options() const { return options_; }
@@ -130,22 +128,13 @@ class ChannelTransport {
     DcClient::ScanChunkHandler scan_chunk_handler() const {
       return scan_chunk_handler_;
     }
-    bool HasPending() const;
-    /// Queue age snapshot for the adaptive flusher: false if empty.
-    bool PendingAges(std::chrono::steady_clock::time_point* oldest,
-                     std::chrono::steady_clock::time_point* newest) const;
 
    private:
     ChannelTransport* transport_;
-    mutable std::mutex pending_mu_;
-    std::vector<OperationRequest> pending_;
-    std::chrono::steady_clock::time_point oldest_enqueue_;
-    std::chrono::steady_clock::time_point last_enqueue_;
   };
 
   void ServerLoop();
   void DispatchLoop();
-  void FlushLoop();
   /// Sends one scan chunk on the reply channel with queued-byte
   /// accounting (suppressed for a crashed DC).
   void EmitChunk(const ScanStreamChunk& chunk);
@@ -155,15 +144,11 @@ class ChannelTransport {
   SimChannel request_ch_;
   SimChannel reply_ch_;
   Client client_;
+  /// Client-side batch coalescing, shared with the socket transport.
+  OpCoalescer coalescer_;
   std::atomic<bool> stop_{false};
   std::vector<std::thread> servers_;
   std::thread dispatcher_;
-  /// Wakes the flusher when the first op lands in an empty queue; the
-  /// flusher then sleeps one coalescing window and flushes. Idle costs
-  /// nothing.
-  std::mutex flush_mu_;
-  std::condition_variable flush_cv_;
-  std::thread flusher_;
   std::atomic<uint64_t> op_messages_{0};
   std::atomic<uint64_t> ops_carried_{0};
   std::atomic<uint64_t> scan_messages_{0};
@@ -174,8 +159,6 @@ class ChannelTransport {
   std::atomic<uint64_t> max_queued_scan_bytes_{0};
   std::atomic<uint64_t> promote_messages_{0};
   std::atomic<uint64_t> promote_ops_carried_{0};
-  std::atomic<uint64_t> coalesce_idle_flushes_{0};
-  std::atomic<uint64_t> coalesce_deadline_flushes_{0};
 };
 
 }  // namespace untx

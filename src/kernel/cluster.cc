@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <set>
 
+#include "net/socket_server.h"
+#include "net/socket_transport.h"
+
 namespace untx {
 
 namespace {
@@ -34,6 +37,18 @@ class ChannelBoundTransport : public BoundTransport {
       : transport_(dc, options) {}
   DcClient* client() override { return transport_.client(); }
   ChannelTransport* channel() override { return &transport_; }
+  void AddWireStats(WireTotals* totals) const override {
+    totals->request_messages += transport_.request_channel().sent();
+    totals->op_messages += transport_.op_messages();
+    totals->ops_carried += transport_.ops_carried();
+    totals->scan_messages += transport_.scan_messages();
+    totals->scan_rows_carried += transport_.scan_rows_carried();
+    totals->scan_credit_messages += transport_.scan_credit_messages();
+    totals->max_queued_scan_bytes = std::max(
+        totals->max_queued_scan_bytes, transport_.max_queued_scan_bytes());
+    totals->promote_messages += transport_.promote_messages();
+    totals->promote_ops_carried += transport_.promote_ops_carried();
+  }
   void Start() override { transport_.Start(); }
   void Stop() override { transport_.Stop(); }
   void OnDcCrash() override { transport_.OnDcCrash(); }
@@ -109,17 +124,56 @@ StatusOr<std::unique_ptr<Cluster>> Cluster::Open(ClusterOptions options) {
   }
 
   // Factories are shared across TCs of the same kind so a custom factory
-  // can pool resources; the defaults are stateless.
-  std::shared_ptr<TransportFactory> cluster_factory = options.binding_factory;
-  if (!cluster_factory) {
-    cluster_factory =
-        options.transport == TransportKind::kChannel
-            ? MakeChannelTransportFactory(options.channel,
-                                          options.channel_overrides)
-            : MakeDirectTransportFactory();
-  }
+  // can pool resources; the defaults are stateless, and the socket
+  // factory shares one reactor (plus the per-DC loopback servers)
+  // across every socket TC.
   std::shared_ptr<TransportFactory> direct_factory;
   std::shared_ptr<TransportFactory> channel_factory;
+  std::shared_ptr<TransportFactory> socket_factory;
+  Status socket_status;
+  // Starts the per-DC loopback SocketServers on first use and builds the
+  // shared client factory against their ephemeral ports. Client-side
+  // coalescing reuses the channel knobs so channel-vs-socket runs
+  // measure the wire, not the queueing policy.
+  auto ensure_socket_factory = [&]() -> TransportFactory* {
+    if (socket_factory) return socket_factory.get();
+    std::map<DcId, SocketEndpoint> endpoints;
+    for (int d = 0; d < options.num_dcs; ++d) {
+      SocketServerOptions server_options;
+      server_options.host = options.socket.host;
+      server_options.port = 0;  // ephemeral; read back below
+      server_options.workers = options.socket.server_workers;
+      auto server = std::make_unique<SocketServer>(cluster->dcs_[d].get(),
+                                                   server_options);
+      socket_status = server->Start();
+      if (!socket_status.ok()) return nullptr;
+      endpoints[static_cast<DcId>(d)] =
+          SocketEndpoint{options.socket.host, server->port()};
+      cluster->socket_servers_.push_back(std::move(server));
+    }
+    SocketTransportOptions transport_options;
+    transport_options.coalesce = options.channel.coalesce();
+    socket_factory =
+        MakeSocketTransportFactory(std::move(endpoints), transport_options);
+    return socket_factory.get();
+  };
+
+  std::shared_ptr<TransportFactory> cluster_factory = options.binding_factory;
+  if (!cluster_factory) {
+    switch (options.transport) {
+      case TransportKind::kChannel:
+        cluster_factory = MakeChannelTransportFactory(
+            options.channel, options.channel_overrides);
+        break;
+      case TransportKind::kSocket:
+        if (!ensure_socket_factory()) return socket_status;
+        cluster_factory = socket_factory;
+        break;
+      case TransportKind::kDirect:
+        cluster_factory = MakeDirectTransportFactory();
+        break;
+    }
+  }
 
   for (size_t t = 0; t < options.tcs.size(); ++t) {
     const TcSpec& spec = options.tcs[t];
@@ -131,6 +185,9 @@ StatusOr<std::unique_ptr<Cluster>> Cluster::Open(ClusterOptions options) {
               options.channel, options.channel_overrides);
         }
         factory = channel_factory.get();
+      } else if (*spec.transport == TransportKind::kSocket) {
+        factory = ensure_socket_factory();
+        if (!factory) return socket_status;
       } else {
         if (!direct_factory) direct_factory = MakeDirectTransportFactory();
         factory = direct_factory.get();
@@ -153,6 +210,13 @@ StatusOr<std::unique_ptr<Cluster>> Cluster::Open(ClusterOptions options) {
     Status s = cluster->tcs_.back()->Start();
     if (!s.ok()) return s;
   }
+  // The factories outlive Open(): the socket factory owns the shared
+  // client reactor every socket binding polls on.
+  for (auto& f :
+       {options.binding_factory, direct_factory, channel_factory,
+        socket_factory, cluster_factory}) {
+    if (f) cluster->factories_.push_back(f);
+  }
   return cluster;
 }
 
@@ -161,114 +225,59 @@ Cluster::~Cluster() {
   for (auto& row : bindings_) {
     for (auto& binding : row) binding->Stop();
   }
+  // Clients are down; now the loopback servers can go.
+  for (auto& server : socket_servers_) server->Stop();
+}
+
+WireTotals Cluster::TotalWireStats() const {
+  WireTotals totals;
+  for (const auto& row : bindings_) {
+    for (const auto& binding : row) binding->AddWireStats(&totals);
+  }
+  // Scan-reply residency is measured where the replies queue: the reply
+  // channel on channel bindings, the per-session out buffer on socket
+  // servers. Fold the server-side marks into the same max.
+  for (const auto& server : socket_servers_) {
+    totals.max_queued_scan_bytes =
+        std::max(totals.max_queued_scan_bytes, server->max_queued_reply_bytes());
+  }
+  return totals;
 }
 
 uint64_t Cluster::TotalRequestMessages() const {
-  uint64_t total = 0;
-  for (const auto& row : bindings_) {
-    for (const auto& binding : row) {
-      if (ChannelTransport* ch = binding->channel()) {
-        total += ch->request_channel().sent();
-      }
-    }
-  }
-  return total;
+  return TotalWireStats().request_messages;
 }
 
 uint64_t Cluster::TotalOpMessages() const {
-  uint64_t total = 0;
-  for (const auto& row : bindings_) {
-    for (const auto& binding : row) {
-      if (ChannelTransport* ch = binding->channel()) {
-        total += ch->op_messages();
-      }
-    }
-  }
-  return total;
+  return TotalWireStats().op_messages;
 }
 
 uint64_t Cluster::TotalOpsCarried() const {
-  uint64_t total = 0;
-  for (const auto& row : bindings_) {
-    for (const auto& binding : row) {
-      if (ChannelTransport* ch = binding->channel()) {
-        total += ch->ops_carried();
-      }
-    }
-  }
-  return total;
+  return TotalWireStats().ops_carried;
 }
 
 uint64_t Cluster::TotalScanMessages() const {
-  uint64_t total = 0;
-  for (const auto& row : bindings_) {
-    for (const auto& binding : row) {
-      if (ChannelTransport* ch = binding->channel()) {
-        total += ch->scan_messages();
-      }
-    }
-  }
-  return total;
+  return TotalWireStats().scan_messages;
 }
 
 uint64_t Cluster::TotalScanRowsCarried() const {
-  uint64_t total = 0;
-  for (const auto& row : bindings_) {
-    for (const auto& binding : row) {
-      if (ChannelTransport* ch = binding->channel()) {
-        total += ch->scan_rows_carried();
-      }
-    }
-  }
-  return total;
+  return TotalWireStats().scan_rows_carried;
 }
 
 uint64_t Cluster::TotalScanCreditMessages() const {
-  uint64_t total = 0;
-  for (const auto& row : bindings_) {
-    for (const auto& binding : row) {
-      if (ChannelTransport* ch = binding->channel()) {
-        total += ch->scan_credit_messages();
-      }
-    }
-  }
-  return total;
+  return TotalWireStats().scan_credit_messages;
 }
 
 uint64_t Cluster::MaxQueuedScanBytes() const {
-  uint64_t max = 0;
-  for (const auto& row : bindings_) {
-    for (const auto& binding : row) {
-      if (ChannelTransport* ch = binding->channel()) {
-        max = std::max(max, ch->max_queued_scan_bytes());
-      }
-    }
-  }
-  return max;
+  return TotalWireStats().max_queued_scan_bytes;
 }
 
 uint64_t Cluster::TotalPromoteMessages() const {
-  uint64_t total = 0;
-  for (const auto& row : bindings_) {
-    for (const auto& binding : row) {
-      if (ChannelTransport* ch = binding->channel()) {
-        total += ch->promote_messages();
-      }
-    }
-  }
-  return total;
+  return TotalWireStats().promote_messages;
 }
 
 uint64_t Cluster::TotalPromoteOpsCarried() const {
-  uint64_t total = 0;
-  for (const auto& row : bindings_) {
-    for (const auto& binding : row) {
-      if (ChannelTransport* ch = binding->channel()) {
-        total += ch->promote_ops_carried();
-      }
-    }
-  }
-  return total;
+  return TotalWireStats().promote_ops_carried;
 }
 
 void Cluster::CrashDc(int d) {

@@ -36,11 +36,30 @@
 
 namespace untx {
 
-enum class TransportKind : uint8_t { kDirect = 0, kChannel = 1 };
+class SocketServer;
+
+enum class TransportKind : uint8_t { kDirect = 0, kChannel = 1, kSocket = 2 };
+
+/// Wire-cost counters of one binding, summed by the Cluster::Total*
+/// rollups. Channel and socket bindings fill the same fields, so
+/// msgs/txn comparisons across transports are apples to apples; direct
+/// bindings contribute nothing (no wire).
+struct WireTotals {
+  uint64_t request_messages = 0;
+  uint64_t op_messages = 0;
+  uint64_t ops_carried = 0;
+  uint64_t scan_messages = 0;
+  uint64_t scan_rows_carried = 0;
+  uint64_t scan_credit_messages = 0;
+  uint64_t max_queued_scan_bytes = 0;  // merged with max(), not +
+  uint64_t promote_messages = 0;
+  uint64_t promote_ops_carried = 0;
+};
 
 /// One live TC↔DC binding produced by a TransportFactory. Owns whatever
 /// machinery sits behind the DcClient — nothing for a direct call path,
-/// channels plus server/dispatcher threads for the cloud path.
+/// channels plus server/dispatcher threads for the cloud path, a TCP
+/// connection registered with a shared reactor for the socket path.
 class BoundTransport {
  public:
   virtual ~BoundTransport() = default;
@@ -51,6 +70,10 @@ class BoundTransport {
   /// The channel machinery behind the binding (per-binding message
   /// stats, fault knobs); nullptr for bindings with no wire.
   virtual ChannelTransport* channel() { return nullptr; }
+
+  /// Folds this binding's wire counters into `totals` (no-op for
+  /// bindings with no wire).
+  virtual void AddWireStats(WireTotals* totals) const { (void)totals; }
 
   virtual void Start() {}
   virtual void Stop() {}
@@ -79,6 +102,18 @@ std::shared_ptr<TransportFactory> MakeChannelTransportFactory(
     ChannelTransportOptions options,
     std::map<DcId, ChannelTransportOptions> per_dc = {});
 
+/// Socket bindings (TransportKind::kSocket): the cluster hosts one
+/// in-process SocketServer per DC on a loopback TCP port and every TC
+/// binding connects to it — the same bytes, daemons and reconnect
+/// machinery the separate-process deployment (untx_tcd / untx_dcd)
+/// uses, exercised inside one test or bench process.
+struct SocketClusterOptions {
+  std::string host = "127.0.0.1";
+  /// Shared worker pool of each DC's SocketServer — all TC sessions
+  /// multiplex onto it (vs per-binding server threads on channels).
+  int server_workers = 2;
+};
+
 /// One TC of the topology.
 struct TcSpec {
   TcOptions options;
@@ -103,6 +138,10 @@ struct ClusterOptions {
   /// Per-DC overrides of `channel` — coalescing policy, batch caps and
   /// fault knobs can differ per DC (a far DC warrants a larger window).
   std::map<DcId, ChannelTransportOptions> channel_overrides;
+  /// Options for socket bindings (TransportKind::kSocket). Client-side
+  /// coalescing reuses `channel`'s coalesce knobs so channel-vs-socket
+  /// comparisons measure the wire, not the queue.
+  SocketClusterOptions socket;
   /// Custom binding factory; when set it replaces the `transport` choice
   /// for every TC without its own TcSpec::transport override.
   std::shared_ptr<TransportFactory> binding_factory;
@@ -142,9 +181,26 @@ class Cluster {
     if (t < 0 || t >= num_tcs() || d < 0 || d >= num_dcs()) return nullptr;
     return bindings_[t][d]->channel();
   }
+  /// The raw binding (tests downcast to transport-specific types);
+  /// nullptr for out-of-range indices.
+  BoundTransport* binding(int t, int d) {
+    if (t < 0 || t >= num_tcs() || d < 0 || d >= num_dcs()) return nullptr;
+    return bindings_[t][d].get();
+  }
+  /// DC d's loopback socket server; nullptr unless some TC binds via
+  /// TransportKind::kSocket.
+  SocketServer* socket_server(int d) {
+    if (d < 0 || d >= static_cast<int>(socket_servers_.size())) return nullptr;
+    return socket_servers_[d].get();
+  }
 
-  /// Request-channel messages summed over every channel binding — the
-  /// wire cost of the whole topology (0 on all-direct clusters).
+  /// All wire counters folded over every binding (channel AND socket;
+  /// direct bindings contribute nothing). The Total* accessors below
+  /// are views of this.
+  WireTotals TotalWireStats() const;
+
+  /// Request messages summed over every wired binding — the wire cost
+  /// of the whole topology (0 on all-direct clusters).
   uint64_t TotalRequestMessages() const;
   /// Operation-carrying request messages (excludes control traffic).
   uint64_t TotalOpMessages() const;
@@ -187,6 +243,13 @@ class Cluster {
   ClusterOptions options_;
   std::vector<std::unique_ptr<StableStore>> stores_;
   std::vector<std::unique_ptr<DataComponent>> dcs_;
+  /// Loopback TCP servers for socket bindings (one per DC, all TC
+  /// sessions multiplexed onto its worker pool); empty otherwise.
+  std::vector<std::unique_ptr<SocketServer>> socket_servers_;
+  /// Keeps the binding factories alive for the cluster's lifetime: the
+  /// socket factory owns the shared client reactor, so letting it die
+  /// at the end of Open() would tear down every live connection.
+  std::vector<std::shared_ptr<TransportFactory>> factories_;
   // bindings_[t][d]: TC t's transport to DC d.
   std::vector<std::vector<std::unique_ptr<BoundTransport>>> bindings_;
   std::vector<std::unique_ptr<TransactionComponent>> tcs_;

@@ -1,0 +1,73 @@
+#include "net/frame.h"
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace untx {
+
+void AppendFrame(uint8_t kind, const Slice& body, std::string* dst) {
+  const uint32_t length = static_cast<uint32_t>(body.size()) + 1;
+  uint32_t crc = crc32c::Extend(0, reinterpret_cast<const char*>(&kind), 1);
+  crc = crc32c::Extend(crc, body.data(), body.size());
+  dst->reserve(dst->size() + kFrameHeaderSize + length);
+  PutFixed32(dst, length);
+  PutFixed32(dst, crc32c::Mask(crc));
+  dst->push_back(static_cast<char>(kind));
+  dst->append(body.data(), body.size());
+}
+
+std::string EncodeFrame(uint8_t kind, const Slice& body) {
+  std::string out;
+  AppendFrame(kind, body, &out);
+  return out;
+}
+
+FrameDecode DecodeFrame(const char* data, size_t size, uint8_t* kind,
+                        Slice* body, size_t* consumed) {
+  *consumed = 0;
+  if (size < kFrameHeaderSize) return FrameDecode::kNeedMore;
+  Slice header(data, kFrameHeaderSize);
+  uint32_t length = 0, masked_crc = 0;
+  GetFixed32(&header, &length);
+  GetFixed32(&header, &masked_crc);
+  if (length == 0 || length > kMaxFramePayload) return FrameDecode::kCorrupt;
+  if (size < kFrameHeaderSize + length) return FrameDecode::kNeedMore;
+  const char* payload = data + kFrameHeaderSize;
+  if (crc32c::Value(payload, length) != crc32c::Unmask(masked_crc)) {
+    return FrameDecode::kCorrupt;
+  }
+  *kind = static_cast<uint8_t>(payload[0]);
+  *body = Slice(payload + 1, length - 1);
+  *consumed = kFrameHeaderSize + length;
+  return FrameDecode::kOk;
+}
+
+void FrameReader::Feed(const char* data, size_t n) {
+  if (corrupt_) return;
+  // Compact the consumed prefix before it dominates the buffer.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+FrameDecode FrameReader::Next(uint8_t* kind, std::string* body) {
+  if (corrupt_) return FrameDecode::kCorrupt;
+  Slice raw;
+  size_t consumed = 0;
+  const FrameDecode d =
+      DecodeFrame(buf_.data() + pos_, buf_.size() - pos_, kind, &raw,
+                  &consumed);
+  if (d == FrameDecode::kCorrupt) {
+    corrupt_ = true;
+    return d;
+  }
+  if (d == FrameDecode::kOk) {
+    body->assign(raw.data(), raw.size());
+    pos_ += consumed;
+  }
+  return d;
+}
+
+}  // namespace untx

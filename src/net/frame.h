@@ -1,0 +1,75 @@
+// Length-prefixed, checksummed message framing shared by EVERY transport
+// of the TC:DC wire protocol. One frame is:
+//
+//   [fixed32 length][fixed32 masked crc32c][u8 kind][body: length-1 bytes]
+//
+// where `length` counts the kind byte plus the body and the CRC covers
+// exactly those bytes. The simulated channels (sim_channel /
+// ChannelTransport) wrap each message as one complete frame, and the TCP
+// transport streams the same bytes — so all three transports serialize
+// identically and a capture from one parses on another.
+//
+// The codec deals in a raw `uint8_t` kind so it stays below the protocol
+// layer; dc_api.h's WrapMessage/UnwrapMessage put MessageKind typing on
+// top of it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+
+namespace untx {
+
+/// Bytes before the kind byte: fixed32 length + fixed32 masked CRC.
+inline constexpr size_t kFrameHeaderSize = 8;
+
+/// Upper bound on length (kind + body). A frame claiming more is corrupt
+/// — the bound keeps a garbage length prefix from provoking a giant
+/// allocation before the CRC check can reject it.
+inline constexpr uint32_t kMaxFramePayload = 16u << 20;
+
+/// Appends one complete frame carrying (kind, body) to `dst`.
+void AppendFrame(uint8_t kind, const Slice& body, std::string* dst);
+
+/// One-frame convenience wrapper around AppendFrame.
+std::string EncodeFrame(uint8_t kind, const Slice& body);
+
+enum class FrameDecode : uint8_t {
+  kOk = 0,        ///< A complete, checksum-valid frame was decoded.
+  kNeedMore = 1,  ///< The buffer ends mid-frame; feed more bytes.
+  kCorrupt = 2,   ///< Bad length or checksum; the stream is poisoned.
+};
+
+/// Decodes the frame at data[0, size). On kOk fills kind, body (aliasing
+/// `data` — valid only while the buffer lives) and consumed (total frame
+/// bytes). On kNeedMore, consumed is 0. On kCorrupt nothing is reliable;
+/// a byte stream that produced it must be dropped, since frame
+/// boundaries are unrecoverable.
+FrameDecode DecodeFrame(const char* data, size_t size, uint8_t* kind,
+                        Slice* body, size_t* consumed);
+
+/// Incremental decoder for a TCP byte stream: Feed() arbitrary slices of
+/// the stream, then drain complete frames with Next(). Partial reads,
+/// frames split across reads and multiple frames per read all fold into
+/// the same state machine. After kCorrupt the reader stays poisoned —
+/// the connection must be torn down.
+class FrameReader {
+ public:
+  void Feed(const char* data, size_t n);
+
+  /// kOk: fills kind/body with the next frame (body is a copy, safe to
+  /// keep). kNeedMore: no complete frame buffered. kCorrupt: poisoned.
+  FrameDecode Next(uint8_t* kind, std::string* body);
+
+  size_t buffered() const { return buf_.size() - pos_; }
+  bool corrupt() const { return corrupt_; }
+
+ private:
+  std::string buf_;
+  size_t pos_ = 0;  // consumed prefix of buf_, compacted lazily
+  bool corrupt_ = false;
+};
+
+}  // namespace untx

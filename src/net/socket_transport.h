@@ -1,0 +1,150 @@
+// SocketTransport: the real-network binding of the TC:DC interface —
+// one TCP connection per (TC, DC) binding, frames from net/frame.h
+// (byte-identical to the simulated channels), nonblocking I/O driven by
+// ONE reactor thread shared by every binding of the factory.
+//
+// Failure model: TCP delivers or the connection dies. A dead connection
+// silently drops sends (counted), and the reactor redials with
+// exponential backoff — the TC's existing resend-until-ack machinery is
+// what re-issues the lost traffic once the dial succeeds, exactly the
+// §4.2 contract. Each successful (re)connect bumps the binding's
+// connect epoch so a deployment driver (untx_tcd) can treat a bumped
+// epoch as "the DC may have restarted" and run the redo-resend
+// protocol; redundant redo is idempotent via abLSNs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "kernel/cluster.h"
+#include "kernel/op_coalescer.h"
+#include "net/frame.h"
+#include "tc/dc_client.h"
+
+namespace untx {
+
+struct SocketEndpoint {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+struct SocketTransportOptions {
+  /// How long Start() blocks for the initial dial before handing the
+  /// connection to the background redial loop.
+  uint32_t connect_timeout_ms = 2000;
+  /// Redial backoff: doubles from min to max on consecutive failures,
+  /// resets on success.
+  uint32_t reconnect_backoff_min_ms = 20;
+  uint32_t reconnect_backoff_max_ms = 1000;
+  /// Client-side kOperationBatch coalescing (shared with channels).
+  CoalesceOptions coalesce;
+};
+
+namespace internal {
+class SocketReactor;
+class SocketConnection;
+}  // namespace internal
+
+/// DcClient over one TCP connection. Reply dispatch runs on the
+/// factory's reactor thread (the socket analog of ChannelTransport's
+/// DispatchLoop thread).
+class SocketDcClient : public DcClient {
+ public:
+  SocketDcClient(std::shared_ptr<internal::SocketConnection> conn,
+                 const CoalesceOptions& coalesce);
+  ~SocketDcClient() override;
+
+  void SendOperation(const OperationRequest& req) override;
+  void SendControl(const ControlRequest& req) override;
+  void SendOperationBatch(const std::vector<OperationRequest>& reqs) override;
+  void SendScanStream(const ScanStreamRequest& req) override;
+  void SendScanCredit(const ScanCreditRequest& req) override;
+  void QueueOperation(const OperationRequest& req) override;
+  void FlushOperations() override;
+
+  void Start();
+  void Stop();
+
+  void AddWireStats(WireTotals* totals) const;
+  /// Frames that found no live connection and were dropped (recovered
+  /// by the TC's resend machinery after the redial).
+  uint64_t dropped_sends() const { return dropped_sends_.load(); }
+
+ private:
+  void SendFrame(uint8_t kind, const std::string& body);
+  void OnFrame(uint8_t kind, const std::string& body);
+
+  std::shared_ptr<internal::SocketConnection> conn_;
+  OpCoalescer coalescer_;
+  std::atomic<uint64_t> request_messages_{0};
+  std::atomic<uint64_t> op_messages_{0};
+  std::atomic<uint64_t> ops_carried_{0};
+  std::atomic<uint64_t> scan_messages_{0};
+  std::atomic<uint64_t> scan_chunks_{0};
+  std::atomic<uint64_t> scan_rows_carried_{0};
+  std::atomic<uint64_t> scan_credit_messages_{0};
+  std::atomic<uint64_t> promote_messages_{0};
+  std::atomic<uint64_t> promote_ops_carried_{0};
+  std::atomic<uint64_t> dropped_sends_{0};
+};
+
+/// One (TC, DC) socket binding: a connection on the factory's shared
+/// reactor plus the coalescing client in front of it.
+class SocketBoundTransport : public BoundTransport {
+ public:
+  SocketBoundTransport(std::shared_ptr<internal::SocketReactor> reactor,
+                       std::shared_ptr<internal::SocketConnection> conn,
+                       const SocketTransportOptions& options);
+  ~SocketBoundTransport() override;
+
+  DcClient* client() override;
+  void AddWireStats(WireTotals* totals) const override;
+  void Start() override;
+  void Stop() override;
+  /// TCP has no inbox to clear: in-flight requests either reach the
+  /// (crashed) DC, whose replies are suppressed, or die with the
+  /// connection. Nothing to do.
+  void OnDcCrash() override {}
+
+  bool connected() const;
+  /// Number of successful dials; bumps on every reconnect. A driver
+  /// that observes an epoch bump after traffic was flowing should treat
+  /// the DC as possibly restarted and run OnDcRestart.
+  uint64_t connect_epoch() const;
+  /// Blocks until connected or timeout; false on timeout.
+  bool WaitConnected(uint32_t timeout_ms) const;
+
+ private:
+  std::shared_ptr<internal::SocketReactor> reactor_;
+  std::shared_ptr<internal::SocketConnection> conn_;
+  SocketDcClient client_;
+  uint32_t connect_timeout_ms_;
+};
+
+/// Produces socket bindings to a fixed DC endpoint map. All bindings of
+/// one factory share its reactor thread.
+class SocketTransportFactory : public TransportFactory {
+ public:
+  SocketTransportFactory(std::map<DcId, SocketEndpoint> targets,
+                         SocketTransportOptions options);
+  ~SocketTransportFactory() override;
+
+  /// `target` (the in-process DataComponent) is ignored — the data
+  /// lives behind the endpoint; nullptr is fine for remote DCs.
+  std::unique_ptr<BoundTransport> Bind(TcId tc, DcId dc,
+                                       DataComponent* target) override;
+
+ private:
+  std::map<DcId, SocketEndpoint> targets_;
+  SocketTransportOptions options_;
+  std::shared_ptr<internal::SocketReactor> reactor_;
+};
+
+std::shared_ptr<TransportFactory> MakeSocketTransportFactory(
+    std::map<DcId, SocketEndpoint> targets,
+    SocketTransportOptions options = {});
+
+}  // namespace untx

@@ -198,8 +198,33 @@ void TransactionComponent::OnScanChunk(const ScanStreamChunk& chunk) {
   }
   std::lock_guard<std::mutex> guard(stream->mu);
   if (chunk.chunk_index < stream->next_index) return;  // duplicate
+  const auto now = std::chrono::steady_clock::now();
+  if (stream->has_arrival) {
+    const int64_t gap_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            now - stream->last_arrival)
+            .count();
+    stream->ewma_gap_us = stream->ewma_gap_us == 0
+                              ? gap_us
+                              : (3 * stream->ewma_gap_us + gap_us) / 4;
+  }
+  stream->last_arrival = now;
+  stream->has_arrival = true;
   stream->chunks.emplace(chunk.chunk_index, chunk);
   stream->cv.notify_all();
+}
+
+std::chrono::milliseconds TransactionComponent::StallWait(
+    const std::shared_ptr<ScanStream>& stream, std::chrono::milliseconds cap) {
+  int64_t ewma_us;
+  {
+    std::lock_guard<std::mutex> guard(stream->mu);
+    ewma_us = stream->ewma_gap_us;
+  }
+  if (ewma_us <= 0) return cap;  // no signal yet: the conservative wait
+  const auto adaptive =
+      std::chrono::milliseconds(std::max<int64_t>(2, (4 * ewma_us) / 1000));
+  return std::min(adaptive, cap);
 }
 
 Status TransactionComponent::WaitStreamChunk(
@@ -224,20 +249,21 @@ Status TransactionComponent::WaitDcReady(
     DcId dc, std::chrono::steady_clock::time_point deadline) {
   // Hold the attempt while the DC replays its redo: a stream issued
   // mid-redo would scan a partially re-populated tree and could declare
-  // the range exhausted early.
+  // the range exhausted early. Every gate-opening path notifies
+  // dc_ready_cv_, so the wait ends the moment redo completes instead of
+  // on the next poll tick; the 50ms slice only bounds a lost wakeup.
+  std::unique_lock<std::mutex> lock(out_mu_);
   for (;;) {
-    bool recovering = false;
-    {
-      std::lock_guard<std::mutex> guard(out_mu_);
-      auto it = dc_recovering_.find(dc);
-      recovering = it != dc_recovering_.end() && it->second;
-    }
+    auto it = dc_recovering_.find(dc);
+    const bool recovering = it != dc_recovering_.end() && it->second;
     if (!recovering) return Status::OK();
     if (crashed_.load()) return Status::Crashed("tc is down");
-    if (std::chrono::steady_clock::now() > deadline) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now > deadline) {
       return Status::TimedOut("scan held for dc recovery");
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    dc_ready_cv_.wait_until(
+        lock, std::min(deadline, now + std::chrono::milliseconds(50)));
   }
 }
 
@@ -325,7 +351,8 @@ Status TransactionComponent::StreamScan(
     for (;;) {
       ScanStreamChunk chunk;
       bool got = false;
-      Status ws = WaitStreamChunk(stream, chunk_wait, &chunk, &got);
+      Status ws =
+          WaitStreamChunk(stream, StallWait(stream, chunk_wait), &chunk, &got);
       if (!ws.ok()) {
         deregister();
         return ws;
@@ -473,7 +500,8 @@ Status TransactionComponent::FetchAheadStreamScan(
       int stalls = 0;
       for (;;) {
         bool got = false;
-        Status ws = WaitStreamChunk(stream, chunk_wait, chunk, &got);
+        Status ws =
+            WaitStreamChunk(stream, StallWait(stream, chunk_wait), chunk, &got);
         if (!ws.ok()) {
           *fail = ws;
           return -1;
@@ -1737,6 +1765,7 @@ void TransactionComponent::Crash() {
     // post-restart streamed scan forever.
     dc_recovering_.clear();
     window_cv_.notify_all();
+    dc_ready_cv_.notify_all();
   }
   for (auto& [lsn, op] : orphans) {
     op->completed = true;
@@ -1995,6 +2024,7 @@ Status TransactionComponent::Restart(std::vector<TcId>* escalate_out) {
     // post-restart streamed scans forever.
     std::lock_guard<std::mutex> guard(out_mu_);
     dc_recovering_.clear();
+    dc_ready_cv_.notify_all();
   }
 
   AnalysisResult analysis;
@@ -2099,6 +2129,7 @@ Status TransactionComponent::OnDcRestart(DcId dc) {
   {
     std::lock_guard<std::mutex> guard(out_mu_);
     dc_recovering_[dc] = false;
+    dc_ready_cv_.notify_all();
   }
   if (s.ok()) {
     // Redo complete: re-arm the LWM contract at the recovered DC.

@@ -409,7 +409,21 @@ class TransactionComponent {
     std::map<uint32_t, ScanStreamChunk> chunks;
     uint32_t next_index = 0;
     bool failed = false;  // TC crashed; waiters must give up
+    /// EWMA of the inter-chunk arrival gap (microseconds), updated on
+    /// every delivery; drives the adaptive stall wait — a stream whose
+    /// chunks arrive every 300us shouldn't sit a full resend interval
+    /// before suspecting a lost credit. Guarded by mu.
+    int64_t ewma_gap_us = 0;
+    std::chrono::steady_clock::time_point last_arrival{};
+    bool has_arrival = false;
   };
+
+  /// The adaptive stall timeout for one wait on `stream`: 4x its EWMA
+  /// inter-chunk gap, clamped to [2ms, cap] (cap = the fixed wait the
+  /// protocol used before — never wait longer than the old behavior).
+  static std::chrono::milliseconds StallWait(
+      const std::shared_ptr<ScanStream>& stream,
+      std::chrono::milliseconds cap);
 
   /// Drives one streamed scan over [from, to) at the routed DC,
   /// delivering rows in order to `emit_row` (return false to stop, e.g.
@@ -493,6 +507,9 @@ class TransactionComponent {
   std::mutex out_mu_;
   std::map<Lsn, std::shared_ptr<OutstandingOp>> outstanding_;
   std::map<DcId, bool> dc_recovering_;
+  /// Signaled whenever a DC-recovering gate opens (redo finished, crash,
+  /// restart): WaitDcReady blocks on this instead of sleep-polling.
+  std::condition_variable dc_ready_cv_;
   /// (table|key) -> in-flight ops touching it; pipelined conflict gate.
   std::unordered_map<std::string, std::vector<std::shared_ptr<OutstandingOp>>>
       inflight_keys_;

@@ -4,9 +4,111 @@
 #include <chrono>
 #include <thread>
 
+#include "common/coding.h"
+#include "common/crc32c.h"
+
 namespace untx {
 
-StableLog::StableLog(StableLogOptions options) : options_(options) {}
+namespace {
+// Backing-file entry tags. Each entry:
+//   kRecordTag:   [u8 tag][varint len][payload][fixed32 masked crc(payload)]
+//   kTruncateTag: [u8 tag][varint new_base]
+constexpr char kRecordTag = 1;
+constexpr char kTruncateTag = 2;
+}  // namespace
+
+StableLog::StableLog(StableLogOptions options) : options_(std::move(options)) {
+  if (!options_.path.empty()) LoadFile();
+}
+
+StableLog::~StableLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void StableLog::LoadFile() {
+  std::string blob;
+  if (std::FILE* in = std::fopen(options_.path.c_str(), "rb")) {
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) blob.append(buf, n);
+    std::fclose(in);
+  }
+  Slice input(blob);
+  size_t good = 0;  // offset past the last fully-parsed entry
+  while (!input.empty()) {
+    const char tag = input[0];
+    Slice attempt(input.data() + 1, input.size() - 1);
+    if (tag == kRecordTag) {
+      uint64_t len = 0;
+      uint32_t masked = 0;
+      if (!GetVarint64(&attempt, &len) || attempt.size() < len + 4) break;
+      std::string payload(attempt.data(), len);
+      attempt.remove_prefix(len);
+      GetFixed32(&attempt, &masked);
+      if (crc32c::Unmask(masked) !=
+          crc32c::Value(payload.data(), payload.size())) {
+        break;  // torn or corrupt tail entry: everything after is suspect
+      }
+      records_.emplace_back();
+      records_.back().payload = std::move(payload);
+      records_.back().sealed = true;
+    } else if (tag == kTruncateTag) {
+      uint64_t new_base = 0;
+      if (!GetVarint64(&attempt, &new_base)) break;
+      const uint64_t loaded_end = base_ + records_.size();
+      if (new_base > base_ && new_base <= loaded_end) {
+        records_.erase(records_.begin(),
+                       records_.begin() +
+                           static_cast<ptrdiff_t>(new_base - base_));
+        base_ = new_base;
+      }
+    } else {
+      break;
+    }
+    good = blob.size() - attempt.size();
+    input = attempt;
+  }
+  stable_end_ = base_ + records_.size();  // everything on disk is stable
+  if (good < blob.size()) {
+    // Torn tail: rewrite just the parsed prefix so appends start clean.
+    file_ = std::fopen(options_.path.c_str(), "wb");
+    if (file_ != nullptr && good > 0) {
+      std::fwrite(blob.data(), 1, good, file_);
+      std::fflush(file_);
+    }
+  } else {
+    file_ = std::fopen(options_.path.c_str(), "ab");
+  }
+}
+
+void StableLog::PersistRangeLocked(uint64_t from, uint64_t to) {
+  if (file_ == nullptr) return;
+  std::string out;
+  for (uint64_t i = from; i < to; ++i) {
+    const std::string& payload = records_[i - base_].payload;
+    out.push_back(kRecordTag);
+    PutVarint64(&out, payload.size());
+    out.append(payload);
+    PutFixed32(&out,
+               crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+  }
+  if (!out.empty()) {
+    std::fwrite(out.data(), 1, out.size(), file_);
+    // fflush pushes into the kernel: enough to survive SIGKILL of this
+    // process (the harness's failure model). Machine-crash durability
+    // would add fsync; the simulated force_delay_us stands in for it.
+    std::fflush(file_);
+  }
+}
+
+void StableLog::PersistTruncateLocked(uint64_t index) {
+  if (file_ == nullptr) return;
+  std::string out;
+  out.push_back(kTruncateTag);
+  PutVarint64(&out, index);
+  std::fwrite(out.data(), 1, out.size(), file_);
+  std::fflush(file_);
+}
 
 uint64_t StableLog::Reserve() {
   std::lock_guard<std::mutex> guard(mu_);
@@ -59,7 +161,10 @@ uint64_t StableLog::ForceTo(uint64_t index) {
         ++target;
       }
     }
-    if (target > stable_end_) stable_end_ = target;
+    if (target > stable_end_) {
+      PersistRangeLocked(stable_end_, target);
+      stable_end_ = target;
+    }
     stable_cv_.notify_all();
   }
   return stable_end_;
@@ -119,6 +224,7 @@ void StableLog::TruncatePrefix(uint64_t index) {
   records_.erase(records_.begin(),
                  records_.begin() + static_cast<ptrdiff_t>(index - base_));
   base_ = index;
+  PersistTruncateLocked(index);
 }
 
 uint64_t StableLog::truncated_prefix() const {

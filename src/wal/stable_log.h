@@ -18,6 +18,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -30,11 +31,19 @@ struct StableLogOptions {
   /// Simulated device latency charged to every Force() that makes at
   /// least one record stable (models an fsync). Microseconds.
   uint32_t force_delay_us = 0;
+  /// Non-empty: back the stable prefix with this file so it survives the
+  /// PROCESS dying (the separate-process deployment's SIGKILL harness),
+  /// not just the simulated Crash(). Records append at Force() time —
+  /// the volatile tail is never written, so the on-disk prefix IS the
+  /// durability contract. An existing file is loaded on construction
+  /// (a torn tail entry is discarded); empty = in-memory only.
+  std::string path;
 };
 
 class StableLog {
  public:
   explicit StableLog(StableLogOptions options = {});
+  ~StableLog();
 
   /// Claims the next index with no payload yet. The record is volatile
   /// and unsealed; Force() cannot pass it.
@@ -85,7 +94,17 @@ class StableLog {
     bool sealed = false;
   };
 
+  /// Replays an existing backing file into records_/base_/stable_end_,
+  /// truncating a torn tail. Called from the constructor only.
+  void LoadFile();
+  /// Appends records [from, to) (already sealed) to the backing file and
+  /// flushes to the kernel. Caller holds mu_.
+  void PersistRangeLocked(uint64_t from, uint64_t to);
+  /// Appends a truncate-prefix marker. Caller holds mu_.
+  void PersistTruncateLocked(uint64_t index);
+
   StableLogOptions options_;
+  std::FILE* file_ = nullptr;
   mutable std::mutex mu_;
   std::condition_variable stable_cv_;
   std::vector<Record> records_;  // records_[i] is log index base_ + i
