@@ -1,11 +1,26 @@
 #include "net/frame.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "common/coding.h"
 #include "common/crc32c.h"
 
 namespace untx {
 
 void AppendFrame(uint8_t kind, const Slice& body, std::string* dst) {
+  // Enforce the frame bound at the sender. An oversize body would encode
+  // fine here but the receiver's DecodeFrame declares the stream corrupt
+  // and tears the session down — and since resend re-encodes the same
+  // message, that becomes a silent kill-and-redial loop. Fail loudly
+  // where the bug is instead.
+  if (body.size() + 1 > kMaxFramePayload) {
+    std::fprintf(stderr,
+                 "untx: AppendFrame body of %zu bytes exceeds "
+                 "kMaxFramePayload (%u)\n",
+                 body.size(), kMaxFramePayload);
+    std::abort();
+  }
   const uint32_t length = static_cast<uint32_t>(body.size()) + 1;
   uint32_t crc = crc32c::Extend(0, reinterpret_cast<const char*>(&kind), 1);
   crc = crc32c::Extend(crc, body.data(), body.size());

@@ -20,6 +20,8 @@
 namespace untx {
 namespace internal {
 
+class SocketReactor;
+
 namespace {
 
 using Clock = std::chrono::steady_clock;
@@ -52,10 +54,12 @@ class SocketConnection {
   };
 
   SocketConnection(SocketEndpoint endpoint,
-                   const SocketTransportOptions& options)
+                   const SocketTransportOptions& options,
+                   std::weak_ptr<SocketReactor> reactor)
       : endpoint_(std::move(endpoint)),
         backoff_min_ms_(options.reconnect_backoff_min_ms),
         backoff_max_ms_(options.reconnect_backoff_max_ms),
+        reactor_(std::move(reactor)),
         backoff_ms_(options.reconnect_backoff_min_ms) {}
 
   using FrameHandler = std::function<void(uint8_t, const std::string&)>;
@@ -96,6 +100,7 @@ class SocketConnection {
   const SocketEndpoint endpoint_;
   const uint32_t backoff_min_ms_;
   const uint32_t backoff_max_ms_;
+  const std::weak_ptr<SocketReactor> reactor_;  // woken on buffered sends
 
   std::mutex send_mu_;
   int fd_ = -1;  // valid only while send_mu_ held (or on reactor thread)
@@ -190,7 +195,7 @@ class SocketReactor {
 };
 
 bool SocketConnection::Send(const std::string& frame) {
-  bool flushed_all = false;
+  bool need_wake = false;
   {
     std::lock_guard<std::mutex> guard(send_mu_);
     if (state_ != State::kConnected || fd_ < 0) return false;
@@ -214,8 +219,15 @@ bool SocketConnection::Send(const std::string& frame) {
       out_.clear();
       out_pos_ = 0;
     } else {
+      need_wake = !want_write_;  // reactor must add POLLOUT for this fd
       want_write_ = true;
     }
+  }
+  // The reactor may be mid-poll without POLLOUT armed; kick it out so
+  // the buffered tail doesn't wait out the poll timeout (the client-side
+  // mirror of ServerImpl::Reply's Wake).
+  if (need_wake) {
+    if (auto reactor = reactor_.lock()) reactor->Wake();
   }
   return true;  // accepted (possibly buffered for the reactor to finish)
 }
@@ -453,9 +465,13 @@ void SocketReactor::ReadReady(const std::shared_ptr<SocketConnection>& c) {
     drop = true;  // EOF or hard error
     break;
   }
+  // Dispatch every complete frame already buffered — including ones the
+  // final read before an EOF/error delivered (e.g. replies the server
+  // flushed just before closing) — THEN act on the drop. Discarding them
+  // would turn a clean close into needless resend retries.
   uint8_t kind = 0;
   std::string body;
-  while (!drop) {
+  for (;;) {
     const FrameDecode d = c->reader_.Next(&kind, &body);
     if (d == FrameDecode::kOk) {
       c->DispatchFrame(kind, body);
@@ -648,6 +664,11 @@ void SocketBoundTransport::Start() {
 void SocketBoundTransport::Stop() {
   client_.Stop();
   reactor_->Deregister(conn_);
+  // Deregister only QUEUES the teardown; the reactor thread may still be
+  // mid-ReadReady dispatching into client_. Clearing the handler is the
+  // synchronous barrier (it blocks on handler_mu_ until any in-flight
+  // dispatch returns), after which destroying client_ is safe.
+  conn_->set_frame_handler(nullptr);
 }
 
 bool SocketBoundTransport::connected() const { return conn_->connected(); }
@@ -675,8 +696,9 @@ std::unique_ptr<BoundTransport> SocketTransportFactory::Bind(
   auto it = targets_.find(dc);
   SocketEndpoint endpoint = it == targets_.end() ? SocketEndpoint{}
                                                  : it->second;
-  auto conn =
-      std::make_shared<internal::SocketConnection>(endpoint, options_);
+  auto conn = std::make_shared<internal::SocketConnection>(
+      endpoint, options_,
+      std::weak_ptr<internal::SocketReactor>(reactor_));
   return std::make_unique<SocketBoundTransport>(reactor_, conn, options_);
 }
 

@@ -41,7 +41,13 @@ void StableLog::LoadFile() {
     if (tag == kRecordTag) {
       uint64_t len = 0;
       uint32_t masked = 0;
-      if (!GetVarint64(&attempt, &len) || attempt.size() < len + 4) break;
+      // Overflow-safe bounds check: a corrupt varint near 2^64 would
+      // wrap `len + 4`, pass a naive check, and crash the recovery on a
+      // giant allocation instead of truncating the torn tail.
+      if (!GetVarint64(&attempt, &len) || len > attempt.size() ||
+          attempt.size() - len < 4) {
+        break;
+      }
       std::string payload(attempt.data(), len);
       attempt.remove_prefix(len);
       GetFixed32(&attempt, &masked);
