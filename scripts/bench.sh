@@ -8,11 +8,13 @@
 #
 # Benches: C1 (range locking + streamed-scan arm), C9 (logging / group
 # commit), C10 (pipelining msgs/txn), F2 (Figure 2 cloud scenario —
-# channel AND loopback-TCP socket arms; their msgs/txn must match).
+# channel AND loopback-TCP socket arms; their msgs/txn must match —
+# plus the replica ship/failover arm: lag under a write burst and the
+# suffix-only resend economics of promoting a hot standby).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR6.json}"
+OUT="${1:-BENCH_PR8.json}"
 BUILD_DIR="${BUILD_DIR:-build-bench}"
 BENCHES=(bench_c1_range_locking bench_c9_logging bench_c10_pipelining
          bench_f2_cloud_scenario)

@@ -7,9 +7,10 @@
 #             the scan-stream credit/cursor machinery, server threads and
 #             resend daemons are data-race-checked end to end.
 #   --socket  ASan+UBSan build of just the real-network arm: the frame
-#             codec, the loopback-TCP cluster tests, and the
-#             separate-process daemons (untx_tcd/untx_dcd SIGKILL'd and
-#             recovered by process_cluster_test).
+#             codec, the loopback-TCP cluster tests, the redo-shipping /
+#             failover suite (dc_replication_test), and the
+#             separate-process daemons (untx_tcd/untx_dcd SIGKILL'd,
+#             promoted and recovered by process_cluster_test).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,7 +23,7 @@ if [[ "${1:-}" == "--socket" ]]; then
   SAN="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
   CXX_FLAGS="$CXX_FLAGS $SAN"
   LINK_FLAGS="$SAN"
-  CTEST_FILTER=(-R 'frame_codec_test|socket_transport_test|process_cluster_test')
+  CTEST_FILTER=(-R 'frame_codec_test|socket_transport_test|process_cluster_test|dc_replication_test')
 elif [[ "${1:-}" == "--asan" ]]; then
   shift
   BUILD_DIR="${BUILD_DIR:-build-asan}"

@@ -5,8 +5,14 @@
 # dump pass. Everything (journals, TC stable logs, dumps, daemon logs)
 # lands in the workdir.
 #
-# Usage: scripts/run_cluster.sh [workdir] [steps]
+# Usage: scripts/run_cluster.sh [--replicas N] [workdir] [steps]
 #   BUILD_DIR  where the daemons were built (default: build)
+#   --replicas N  also start N hot standbys per DC (untx_dcd
+#             --replica_of), each riding its primary's redo stream. The
+#             TCs list them as alternate endpoints, so after you kill -9
+#             a primary you can promote a standby with kill -USR1 and
+#             watch the TCs fail over to it — resending only the
+#             in-flight suffix its shipped log prefix is missing.
 #
 # Try it: kill -9 one of the printed PIDs mid-run and watch the others
 # rebuild it — a killed DC comes back EMPTY and is repopulated by the
@@ -15,6 +21,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+REPLICAS=0
+if [[ "${1:-}" == "--replicas" ]]; then
+  REPLICAS="${2:?--replicas needs a count}"
+  shift 2
+fi
 WORKDIR="${1:-/tmp/untx_cluster}"
 STEPS="${2:-200}"
 BUILD_DIR="${BUILD_DIR:-build}"
@@ -34,9 +45,14 @@ cleanup() {
 }
 trap cleanup EXIT
 
-"$DCD" --port 0 --port_file "$WORKDIR/dc0.port" 2>"$WORKDIR/dc0.log" &
+# Primaries run durable (--workdir): a killed one can also be relaunched
+# by hand with --recover to restore from its own pages + redo log.
+mkdir -p "$WORKDIR/dc0" "$WORKDIR/dc1"
+"$DCD" --port 0 --port_file "$WORKDIR/dc0.port" --workdir "$WORKDIR/dc0" \
+  2>"$WORKDIR/dc0.log" &
 PIDS+=($!)
-"$DCD" --port 0 --port_file "$WORKDIR/dc1.port" 2>"$WORKDIR/dc1.log" &
+"$DCD" --port 0 --port_file "$WORKDIR/dc1.port" --workdir "$WORKDIR/dc1" \
+  2>"$WORKDIR/dc1.log" &
 PIDS+=($!)
 for _ in $(seq 100); do
   [[ -s "$WORKDIR/dc0.port" && -s "$WORKDIR/dc1.port" ]] && break
@@ -44,8 +60,41 @@ for _ in $(seq 100); do
 done
 P0="$(cat "$WORKDIR/dc0.port")"
 P1="$(cat "$WORKDIR/dc1.port")"
-DCS="127.0.0.1:$P0,127.0.0.1:$P1"
 echo "dc0 pid=${PIDS[0]} port=$P0   dc1 pid=${PIDS[1]} port=$P1"
+
+# A standby never listens until promoted, so its port is assigned here
+# (random high port, probed free) and handed to both it and the TCs.
+pick_port() {
+  local p
+  for _ in $(seq 50); do
+    p=$((20000 + RANDOM % 40000))
+    if ! (exec 3<>"/dev/tcp/127.0.0.1/$p") 2>/dev/null; then
+      echo "$p"
+      return 0
+    fi
+    exec 3>&- || true
+  done
+  echo "cannot find a free port" >&2
+  return 1
+}
+
+ALT0=""
+ALT1=""
+for r in $(seq "$REPLICAS"); do
+  for d in 0 1; do
+    PRIMARY_PORT="$P0"
+    [[ "$d" == 1 ]] && PRIMARY_PORT="$P1"
+    RPORT="$(pick_port)"
+    "$DCD" --port "$RPORT" --port_file "$WORKDIR/dc${d}r${r}.port" \
+      --replica_of "127.0.0.1:$PRIMARY_PORT" --replica_id "$r" \
+      2>"$WORKDIR/dc${d}r${r}.log" &
+    PIDS+=($!)
+    echo "dc${d} standby $r pid=$! port=$RPORT (kill -USR1 $! promotes)"
+    if [[ "$d" == 0 ]]; then ALT0="$ALT0|127.0.0.1:$RPORT"
+    else ALT1="$ALT1|127.0.0.1:$RPORT"; fi
+  done
+done
+DCS="127.0.0.1:$P0$ALT0,127.0.0.1:$P1$ALT1"
 
 TC_PIDS=()
 for id in 1 2; do

@@ -3,32 +3,51 @@
 // DataComponent behind a SocketServer; every TC session multiplexes
 // onto the shared worker pool.
 //
-// The page store is process-volatile: a SIGKILL'd DC comes back EMPTY,
-// and the TCs rebuild it end to end with the §5.2.2 redo-resend
-// protocol over the re-dialed connection (untx_tcd watches the
-// binding's connect epoch). That is the point of the unbundling: the
-// TC's logical log is the recovery source of truth, the DC only has to
-// apply redo idempotently (abLSNs).
+// Durability modes:
+//   * No --workdir: process-volatile. A SIGKILL'd DC comes back EMPTY
+//     and the TCs rebuild it end to end with the §5.2.2 redo-resend
+//     protocol (untx_tcd watches the binding's connect epoch).
+//   * --workdir DIR: pages checkpoint to DIR/dc.pages and the applied-op
+//     redo log appends to DIR/dc.redo. Relaunching with --recover
+//     restores pre-crash state from local disk (pages + redo replay),
+//     after which TCs resend only the unacknowledged suffix instead of
+//     their whole logs.
+//
+// Replication:
+//   * --replica_of HOST:PORT starts the DC as a hot standby: it dials
+//     the primary's server, subscribes to its redo stream and applies
+//     it continuously. A standby does NOT listen for TC traffic; on
+//     SIGUSR1 it promotes — fences at the next epoch, starts its own
+//     SocketServer and only then writes --port_file, so a waiting
+//     harness reads the port exactly when the new primary is open.
+//
+// SIGTERM/SIGINT shut down gracefully: close sessions, stop shipping,
+// force the redo log's durable tail, remove the port file.
 //
 //   untx_dcd --port 0 --port_file /tmp/dc0.port [--host 127.0.0.1]
-//            [--workers 2]
+//            [--workers 2] [--workdir DIR] [--recover]
+//            [--replica_of HOST:PORT] [--replica_id N]
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "dc/data_component.h"
+#include "net/replica_client.h"
 #include "net/socket_server.h"
 #include "storage/stable_store.h"
 
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_promote = 0;
 
 void OnSignal(int) { g_stop = 1; }
+void OnPromote(int) { g_promote = 1; }
 
 const char* FlagValue(int argc, char** argv, int* i, const char* name) {
   if (std::strcmp(argv[*i], name) != 0) return nullptr;
@@ -39,11 +58,34 @@ const char* FlagValue(int argc, char** argv, int* i, const char* name) {
   return argv[++*i];
 }
 
+bool ParseHostPort(const std::string& spec, std::string* host,
+                   uint16_t* port) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) return false;
+  *host = spec.substr(0, colon);
+  *port = static_cast<uint16_t>(std::atoi(spec.c_str() + colon + 1));
+  return !host->empty() && *port != 0;
+}
+
+/// Write-then-rename so a polling launcher never reads a torn file.
+bool WritePortFile(const std::string& path, uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (!f) return false;
+  std::fprintf(f, "%u\n", port);
+  std::fclose(f);
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   untx::SocketServerOptions options;
   std::string port_file;
+  std::string workdir;
+  std::string replica_of;
+  uint32_t replica_id = 1;
+  bool recover = false;
   for (int i = 1; i < argc; ++i) {
     if (const char* v = FlagValue(argc, argv, &i, "--port")) {
       options.port = static_cast<uint16_t>(std::atoi(v));
@@ -53,6 +95,14 @@ int main(int argc, char** argv) {
       options.host = v;
     } else if (const char* v = FlagValue(argc, argv, &i, "--workers")) {
       options.workers = std::atoi(v);
+    } else if (const char* v = FlagValue(argc, argv, &i, "--workdir")) {
+      workdir = v;
+    } else if (const char* v = FlagValue(argc, argv, &i, "--replica_of")) {
+      replica_of = v;
+    } else if (const char* v = FlagValue(argc, argv, &i, "--replica_id")) {
+      replica_id = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--recover") == 0) {
+      recover = true;
     } else {
       std::fprintf(stderr, "untx_dcd: unknown flag %s\n", argv[i]);
       return 2;
@@ -61,38 +111,116 @@ int main(int argc, char** argv) {
 
   std::signal(SIGTERM, OnSignal);
   std::signal(SIGINT, OnSignal);
+  std::signal(SIGUSR1, OnPromote);
 
-  untx::StableStore store;
-  untx::DataComponent dc(&store);
-  untx::Status s = dc.Initialize();
+  untx::StableStoreOptions store_options;
+  untx::DataComponentOptions dc_options;
+  if (!workdir.empty()) {
+    store_options.path = workdir + "/dc.pages";
+    dc_options.redo_log_enabled = true;
+    dc_options.redo_log.path = workdir + "/dc.redo";
+  } else if (!replica_of.empty()) {
+    // A diskless standby still tracks the shipped stream in memory (its
+    // log end is its subscription position).
+    dc_options.redo_log_enabled = true;
+  }
+
+  untx::StableStore store(store_options);
+  untx::DataComponent dc(&store, dc_options);
+  untx::Status s;
+  if (recover && store.LivePageCount() > 0) {
+    // Existing on-disk state: make the structures well-formed, then
+    // replay our own retained redo log so the pages reflect every op we
+    // ever acked — TCs will resend only the suffix past our log end.
+    s = dc.Recover();
+    if (s.ok() && dc.redo_log() != nullptr) {
+      uint64_t replayed = 0;
+      s = dc.RecoverFromLocalLog(&replayed);
+      if (s.ok()) {
+        std::fprintf(stderr,
+                     "untx_dcd: local recovery replayed %llu redo entries "
+                     "(log end %llu)\n",
+                     static_cast<unsigned long long>(replayed),
+                     static_cast<unsigned long long>(dc.redo_log()->end()));
+      }
+    }
+  } else {
+    s = dc.Initialize();
+  }
   if (!s.ok()) {
     std::fprintf(stderr, "untx_dcd: init: %s\n", s.ToString().c_str());
     return 1;
   }
-  untx::SocketServer server(&dc, options);
-  s = server.Start();
-  if (!s.ok()) {
-    std::fprintf(stderr, "untx_dcd: %s\n", s.ToString().c_str());
-    return 1;
+
+  std::unique_ptr<untx::ReplicaClient> subscriber;
+  if (!replica_of.empty()) {
+    untx::ReplicaClientOptions rc;
+    if (!ParseHostPort(replica_of, &rc.host, &rc.port)) {
+      std::fprintf(stderr, "untx_dcd: bad --replica_of '%s'\n",
+                   replica_of.c_str());
+      return 2;
+    }
+    rc.replica_id = replica_id;
+    dc.StartAsReplica();
+    subscriber = std::make_unique<untx::ReplicaClient>(&dc, rc);
+    subscriber->Start();
+    std::fprintf(stderr,
+                 "untx_dcd: standby of %s (replica_id %u); SIGUSR1 promotes\n",
+                 replica_of.c_str(), replica_id);
   }
-  std::fprintf(stderr, "untx_dcd: serving on %s:%u\n", options.host.c_str(),
-               server.port());
-  if (!port_file.empty()) {
-    // Write-then-rename so a polling launcher never reads a torn file.
-    const std::string tmp = port_file + ".tmp";
-    std::FILE* f = std::fopen(tmp.c_str(), "w");
-    if (!f) {
-      std::fprintf(stderr, "untx_dcd: cannot write %s\n", tmp.c_str());
+
+  untx::SocketServer server(&dc, options);
+  bool serving = subscriber == nullptr;  // standbys listen only once promoted
+  if (serving) {
+    s = server.Start();
+    if (!s.ok()) {
+      std::fprintf(stderr, "untx_dcd: %s\n", s.ToString().c_str());
       return 1;
     }
-    std::fprintf(f, "%u\n", server.port());
-    std::fclose(f);
-    std::rename(tmp.c_str(), port_file.c_str());
+    std::fprintf(stderr, "untx_dcd: serving on %s:%u\n", options.host.c_str(),
+                 server.port());
+    if (!port_file.empty() && !WritePortFile(port_file, server.port())) {
+      std::fprintf(stderr, "untx_dcd: cannot write %s\n", port_file.c_str());
+      return 1;
+    }
   }
+
   while (!g_stop) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (g_promote && !serving) {
+      g_promote = 0;
+      // Stop draining the (dead) primary first: promotion fences the
+      // log, and a late shipped batch must not race the flip.
+      subscriber->Stop();
+      dc.Promote(dc.promotion_epoch() + 1);
+      s = server.Start();
+      if (!s.ok()) {
+        std::fprintf(stderr, "untx_dcd: promote: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      serving = true;
+      std::fprintf(stderr,
+                   "untx_dcd: promoted (epoch %llu, log end %llu), serving "
+                   "on %s:%u\n",
+                   static_cast<unsigned long long>(dc.promotion_epoch()),
+                   static_cast<unsigned long long>(
+                       dc.redo_log() != nullptr ? dc.redo_log()->end() : 0),
+                   options.host.c_str(), server.port());
+      // The port file appears only now: a waiting harness learns the
+      // address exactly when the new primary is open for TC traffic.
+      if (!port_file.empty() && !WritePortFile(port_file, server.port())) {
+        std::fprintf(stderr, "untx_dcd: cannot write %s\n", port_file.c_str());
+        return 1;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
+
   std::fprintf(stderr, "untx_dcd: shutting down\n");
-  server.Stop();
+  if (subscriber) subscriber->Stop();
+  if (serving) server.Stop();
+  // Everything acked is already durable (force-before-reply); this only
+  // tightens the tail for anything in flight at the signal.
+  if (dc.redo_log() != nullptr) dc.redo_log()->Force();
+  if (serving && !port_file.empty()) std::remove(port_file.c_str());
   return 0;
 }

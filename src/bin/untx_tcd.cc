@@ -22,6 +22,15 @@
 //            --workdir /tmp/cluster --seed 7 --steps 100 [--phase 1]
 //            [--recover] [--dump] [--step_sleep_ms 0]
 //
+// A DC entry may list ALTERNATE endpoints separated by '|' (primary
+// first, standbys after): 127.0.0.1:7001|127.0.0.1:7101. A failed dial
+// rotates to the next alternate, so when the harness promotes a standby
+// (SIGUSR1 to its untx_dcd) the redial loop lands on the new primary
+// and the epoch-bump watcher runs the redo-resend protocol against it.
+//
+// SIGTERM/SIGINT stop the workload at the next step boundary and run the
+// normal shutdown path (journal is already fflushed per line).
+//
 // Journal lines (append-only, one fflush per line):
 //   I <seq> <n> {<table> U <key> <value> | <table> D <key>} * n
 //   C <seq>      committed
@@ -31,6 +40,7 @@
 // Dump lines (--dump): "<table> <key> <value>", terminated by "END".
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -51,6 +61,10 @@ using untx::DcId;
 using untx::TableId;
 using untx::TcId;
 
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnSignal(int) { g_stop = 1; }
+
 const char* FlagValue(int argc, char** argv, int* i, const char* name) {
   if (std::strcmp(argv[*i], name) != 0) return nullptr;
   if (*i + 1 >= argc) {
@@ -60,19 +74,31 @@ const char* FlagValue(int argc, char** argv, int* i, const char* name) {
   return argv[++*i];
 }
 
-bool ParseEndpoints(const std::string& spec,
-                    std::map<DcId, untx::SocketEndpoint>* out) {
+bool ParseEndpoint(const std::string& item, untx::SocketEndpoint* ep) {
+  const size_t colon = item.rfind(':');
+  if (colon == std::string::npos) return false;
+  ep->host = item.substr(0, colon);
+  ep->port = static_cast<uint16_t>(std::atoi(item.c_str() + colon + 1));
+  return !ep->host.empty() && ep->port != 0;
+}
+
+bool ParseEndpoints(
+    const std::string& spec,
+    std::map<DcId, std::vector<untx::SocketEndpoint>>* out) {
   std::stringstream ss(spec);
   std::string item;
   DcId d = 0;
   while (std::getline(ss, item, ',')) {
-    const size_t colon = item.rfind(':');
-    if (colon == std::string::npos) return false;
-    untx::SocketEndpoint ep;
-    ep.host = item.substr(0, colon);
-    ep.port = static_cast<uint16_t>(std::atoi(item.c_str() + colon + 1));
-    if (ep.host.empty() || ep.port == 0) return false;
-    (*out)[d++] = ep;
+    std::vector<untx::SocketEndpoint> alternates;
+    std::stringstream alts(item);
+    std::string one;
+    while (std::getline(alts, one, '|')) {
+      untx::SocketEndpoint ep;
+      if (!ParseEndpoint(one, &ep)) return false;
+      alternates.push_back(std::move(ep));
+    }
+    if (alternates.empty()) return false;
+    (*out)[d++] = std::move(alternates);
   }
   return !out->empty();
 }
@@ -139,7 +165,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::map<DcId, untx::SocketEndpoint> endpoints;
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGINT, OnSignal);
+
+  std::map<DcId, std::vector<untx::SocketEndpoint>> endpoints;
   if (!ParseEndpoints(dcs_spec, &endpoints)) {
     std::fprintf(stderr, "untx_tcd: bad --dcs '%s'\n", dcs_spec.c_str());
     return 2;
@@ -255,7 +284,7 @@ int main(int argc, char** argv) {
 
   std::mt19937_64 rng(seed * 1000003 + phase * 1000 + tc_id);
   uint64_t committed = 0, aborted = 0;
-  for (uint64_t step = 0; step < steps; ++step) {
+  for (uint64_t step = 0; step < steps && !g_stop; ++step) {
     const uint64_t seq = first_seq + step;
     const int nops = 1 + static_cast<int>(rng() % 3);
     std::vector<Op> ops;

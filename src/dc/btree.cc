@@ -67,7 +67,15 @@ Status BTree::Bootstrap() {
   std::vector<char> buf(pool_->page_size(), 0);
   SlottedPage meta(buf.data(), pool_->page_size(), pool_->trailer_capacity());
   meta.Init(meta_pid_, PageType::kMeta, 0, kInvalidTableId);
-  return store_->Write(meta_pid_, buf.data());
+  Status s = store_->Write(meta_pid_, buf.data());
+  if (s.ok()) {
+    // A bootstrap on a reset store (replica reset-by-replay) must not
+    // leave roots of the wiped catalog behind: the replayed CreateTable
+    // is idempotent and would trust them.
+    std::lock_guard<std::mutex> guard(root_mu_);
+    root_cache_.clear();
+  }
+  return s;
 }
 
 Status BTree::RebuildRootCache() {

@@ -256,6 +256,12 @@ std::map<TcId, Lsn> BufferPool::eosl_map() const {
   return eosl_;
 }
 
+void BufferPool::AbandonParkedFlushes() {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (auto& [pid, frame] : frames_) frame->flush_waiting = false;
+  sync_cv_.notify_all();
+}
+
 bool BufferPool::WaitWhileFlushWaiting(Frame* frame, uint32_t timeout_ms) {
   std::unique_lock<std::mutex> lock(mu_);
   return sync_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),

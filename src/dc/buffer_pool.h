@@ -152,6 +152,15 @@ class BufferPool {
   /// must NOT hold the frame latch.
   bool WaitWhileFlushWaiting(Frame* frame, uint32_t timeout_ms);
 
+  /// Clears every parked flush (strategy-1 §5.1.2 back-pressure). Used
+  /// by redo-stream replay: there the refusal can deadlock — the stream
+  /// applies in strict order, so the control that would collapse the
+  /// abLSN may sit BEHIND the refused op (cancel-filtering shrinks
+  /// in-sets below what live history saw). Abandoning the flush is only
+  /// a space/liveness trade: the page stays dirty and a later control
+  /// re-arms the flush.
+  void AbandonParkedFlushes();
+
   /// Snapshot of currently cached page ids (for reset / checkpoint scans).
   std::vector<PageId> CachedPages() const;
 

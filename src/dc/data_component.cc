@@ -59,6 +59,12 @@ DataComponent::DataComponent(StableStore* store, DataComponentOptions options)
                                        options_.buffer_pool);
   btree_ = std::make_unique<BTree>(store_, pool_.get(), dc_log_.get(),
                                    options_.btree);
+  if (options_.redo_log_enabled) {
+    redo_log_ = std::make_unique<DcRedoLog>(options_.redo_log);
+    // A log loaded from a backing file is ahead of the (still empty or
+    // stable-store-restored) state until someone replays it.
+    if (redo_log_->end() > 0) redo_state_current_.store(false);
+  }
 }
 
 DataComponent::~DataComponent() = default;
@@ -79,6 +85,12 @@ void DataComponent::Crash() {
   quiesce_cv_.wait(lock, [this] { return active_ops_.load() == 0; });
   pool_->Clear();
   dc_log_->Crash();
+  if (redo_log_) {
+    redo_log_->Crash();
+    // Post-crash state (whatever a restore rebuilds from stable pages)
+    // may lag the durable redo prefix until it is replayed.
+    redo_state_current_.store(false);
+  }
   {
     std::lock_guard<std::mutex> guard(reply_mu_);
     reply_cache_.clear();
@@ -98,6 +110,21 @@ void DataComponent::Crash() {
 void DataComponent::Restore() { crashed_.store(false); }
 
 OperationReply DataComponent::Perform(const OperationRequest& req) {
+  if (role_.load() == DcRole::kReplica) {
+    // A replica is not in any TC's routing table; answer stray traffic
+    // like a down DC so a misrouted TC resends rather than misbehaves.
+    OperationReply reply;
+    reply.tc_id = req.tc_id;
+    reply.lsn = req.lsn;
+    reply.status = Status::Crashed("dc is a replica");
+    return reply;
+  }
+  return PerformImpl(req, /*record_redo=*/true, /*defer_redo_force=*/false);
+}
+
+OperationReply DataComponent::PerformImpl(const OperationRequest& req,
+                                          bool record_redo,
+                                          bool defer_redo_force) {
   OperationReply reply;
   reply.tc_id = req.tc_id;
   reply.lsn = req.lsn;
@@ -152,6 +179,7 @@ OperationReply DataComponent::Perform(const OperationRequest& req) {
 
   if (req.op == OpType::kCreateTable) {
     reply = DoCreateTable(req);
+    MaybeAppendRedo(req, &reply, record_redo, defer_redo_force);
     CacheReply(reply);
     return reply;
   }
@@ -198,9 +226,49 @@ OperationReply DataComponent::Perform(const OperationRequest& req) {
   }
 
   if (is_write && !reply.status.IsBusy() && !reply.status.IsCrashed()) {
+    // Redo append + force BEFORE the reply escapes: every op the TC has
+    // seen acked is in the durable redo log, so a replica promoted (or a
+    // --recover restart) only ever misses ops the TC still counts as
+    // in-flight and will resend.
+    MaybeAppendRedo(req, &reply, record_redo, defer_redo_force);
     CacheReply(reply);
   }
   return reply;
+}
+
+void DataComponent::MaybeAppendRedo(const OperationRequest& req,
+                                    OperationReply* reply, bool record,
+                                    bool defer_force) {
+  if (!record || redo_log_ == nullptr) return;
+  if (!IsWriteOp(req.op) || reply->was_duplicate) return;
+  // Only logical completions advance the abLSN (ok / NotFound /
+  // AlreadyExists — see ApplyOnce); anything else did not apply and
+  // must not replicate. An abLSN-covered duplicate (reply cache already
+  // pruned) is NOT re-appended: its reply carries rlsn 0, so the TC
+  // keeps no replication record for it and re-drives it on failover.
+  if (!(reply->status.ok() || reply->status.IsNotFound() ||
+        reply->status.IsAlreadyExists())) {
+    return;
+  }
+  RedoEntry entry;
+  entry.kind = RedoEntryKind::kOp;
+  entry.tc = req.tc_id;
+  entry.lsn = req.lsn;
+  req.EncodeTo(&entry.payload);
+  reply->rlsn = redo_log_->Append(std::move(entry));
+  stats_.redo_entries_appended.fetch_add(1);
+  if (!defer_force) redo_log_->Force();
+}
+
+void DataComponent::AppendRedoControl(RedoEntryKind kind, TcId tc,
+                                      uint64_t lsn) {
+  if (redo_log_ == nullptr || role_.load() != DcRole::kPrimary) return;
+  RedoEntry entry;
+  entry.kind = kind;
+  entry.tc = tc;
+  entry.lsn = lsn;
+  redo_log_->Append(std::move(entry));
+  redo_log_->Force();
 }
 
 OperationReply DataComponent::ApplyOnce(const OperationRequest& req,
@@ -908,12 +976,13 @@ void DataComponent::ProduceScanChunks(
 
 void DataComponent::PerformScanStream(const ScanStreamRequest& req,
                                       const ScanChunkEmitter& emit) {
-  if (crashed_.load()) {
+  if (crashed_.load() || role_.load() == DcRole::kReplica) {
     ScanStreamChunk chunk;
     chunk.tc_id = req.base.tc_id;
     chunk.stream_id = req.base.lsn;
     chunk.done = true;
-    chunk.status = Status::Crashed("dc is down");
+    chunk.status = crashed_.load() ? Status::Crashed("dc is down")
+                                   : Status::Crashed("dc is a replica");
     emit(chunk);
     return;
   }
@@ -947,7 +1016,7 @@ void DataComponent::PerformScanStream(const ScanStreamRequest& req,
 
 void DataComponent::ScanCredit(const ScanCreditRequest& req,
                                const ScanChunkEmitter& emit) {
-  if (crashed_.load()) return;
+  if (crashed_.load() || role_.load() == DcRole::kReplica) return;
   EvictIdleScanCursors();
   std::shared_ptr<ScanCursor> cursor;
   {
@@ -1018,25 +1087,68 @@ ControlReply DataComponent::Control(const ControlRequest& req) {
     reply.status = Status::Crashed("dc is down");
     return reply;
   }
+  if (role_.load() == DcRole::kReplica) {
+    reply.status = Status::Crashed("dc is a replica");
+    return reply;
+  }
   switch (req.type) {
     case ControlType::kEndOfStableLog:
       pool_->OnEndOfStableLog(req.tc_id, req.lsn);
+      AppendRedoControl(RedoEntryKind::kEosl, req.tc_id, req.lsn);
       reply.status = Status::OK();
       break;
     case ControlType::kLowWaterMark:
       pool_->OnLowWaterMark(req.tc_id, req.lsn);
       PruneReplies(req.tc_id, req.lsn);
+      AppendRedoControl(RedoEntryKind::kLwm, req.tc_id, req.lsn);
       reply.status = Status::OK();
       break;
-    case ControlType::kCheckpoint:
-      reply.status = DoTcCheckpoint(req.tc_id, req.lsn);
+    case ControlType::kCheckpoint: {
+      // Replica clamp: the TC may not truncate its log below an op the
+      // slowest registered replica has not acked — after a failover to
+      // that replica the TC must still be able to re-drive it.
+      Lsn granted = req.lsn;
+      if (redo_log_ != nullptr && redo_log_->replication_enabled()) {
+        const uint64_t floor =
+            redo_log_->MinOpLsnAfter(redo_log_->MinReplicaAck(), req.tc_id);
+        if (floor < granted) granted = static_cast<Lsn>(floor);
+      }
+      reply.status = DoTcCheckpoint(req.tc_id, granted);
+      reply.rlsn = granted;  // the GRANTED (possibly clamped) truncation point
       break;
+    }
     case ControlType::kRestartBegin: {
       // The failed TC's open streams died with it: drop their cursors.
       EvictScanCursorsForTc(req.tc_id);
       std::vector<TcId> escalate;
       reply.status = DoReset(req.tc_id, req.lsn, &escalate);
       reply.escalate_tcs = std::move(escalate);
+      if (reply.status.ok()) {
+        // Replicas reproduce the page-reset semantics by cancel-filtered
+        // replay keyed off this entry.
+        AppendRedoControl(RedoEntryKind::kReset, req.tc_id, req.lsn);
+        if (redo_log_ != nullptr) {
+          // The reset reverted pages to OUR stable images, but on a
+          // promoted standby those need not cover everything below the
+          // TCs' RSSPs — the checkpoint clamp negotiated page stability
+          // with the old primary, and escalation resends cannot reach
+          // below a truncated TC log. Our own redo log holds the full
+          // applied history (the kReset above cancel-filters the lost
+          // tail), so re-derive the post-reset truth locally.
+          uint64_t replayed = 0;
+          Status rs = RecoverFromLocalLog(&replayed);
+          if (TraceEnabled()) {
+            fprintf(stderr,
+                    "[dc %p] RESTART tc=%u stable_end=%llu esc=%zu replay=%s "
+                    "ops=%llu end=%llu\n",
+                    (void*)this, req.tc_id, (unsigned long long)req.lsn,
+                    reply.escalate_tcs.size(), rs.ToString().c_str(),
+                    (unsigned long long)replayed,
+                    (unsigned long long)redo_log_->end());
+          }
+          if (!rs.ok()) reply.status = rs;
+        }
+      }
       break;
     }
     case ControlType::kRestartEnd: {
@@ -1050,6 +1162,19 @@ ControlReply DataComponent::Control(const ControlRequest& req) {
     }
     case ControlType::kDcCheckpoint:
       reply.status = DoDcCheckpoint();
+      break;
+    case ControlType::kQueryReplication:
+      // "Can you recover locally / do you hold an applied-op log?" The
+      // TC's restart path uses rlsn (our applied end) to resend only the
+      // suffix its acked-rlsn records say we never durably applied.
+      reply.replication_enabled = redo_log_ != nullptr;
+      // rlsn 0 unless the state provably reflects the whole log (fresh
+      // operation, a finished local replay, or replica apply) — a loaded
+      // but unreplayed prefix must not suppress the TC's resend.
+      reply.rlsn = redo_log_ != nullptr && redo_state_current_.load()
+                       ? redo_log_->end()
+                       : 0;
+      reply.status = Status::OK();
       break;
     default:
       reply.status = Status::InvalidArgument("unknown control type");
@@ -1087,6 +1212,7 @@ Status DataComponent::DoTcCheckpoint(TcId /*tc*/, Lsn new_rssp) {
 }
 
 Status DataComponent::DoDcCheckpoint() {
+  const uint64_t watermark = redo_log_ != nullptr ? redo_log_->end() : 0;
   pool_->FlushAllEligible();
   // The DC log can be truncated below the earliest system-transaction
   // record still needed by a dirty page.
@@ -1100,6 +1226,13 @@ Status DataComponent::DoDcCheckpoint() {
     pool_->Unpin(frame);
   }
   dc_log_->TruncateBelow(min_rec);
+  // Checkpoint marker: advisory for local recovery (EOSL-ineligible
+  // pages may hold back ops <= W, so replay still starts at rlsn 1 and
+  // leans on abLSN duplicate skips), but it propagates the checkpoint
+  // cadence to replicas, which flush their own pages on seeing it.
+  if (redo_log_ != nullptr) {
+    AppendRedoControl(RedoEntryKind::kWatermark, 0, watermark);
+  }
   return Status::OK();
 }
 
@@ -1291,11 +1424,13 @@ std::vector<OperationReply> DataComponent::PerformBatch(
   stats_.batches.fetch_add(1);
   stats_.batched_ops.fetch_add(reqs.size());
   std::vector<OperationReply> replies(reqs.size());
-  if (crashed_.load()) {
+  if (crashed_.load() || role_.load() == DcRole::kReplica) {
     for (size_t i = 0; i < reqs.size(); ++i) {
       replies[i].tc_id = reqs[i].tc_id;
       replies[i].lsn = reqs[i].lsn;
-      replies[i].status = Status::Crashed("dc is down");
+      replies[i].status = crashed_.load()
+                              ? Status::Crashed("dc is down")
+                              : Status::Crashed("dc is a replica");
     }
     return replies;
   }
@@ -1336,8 +1471,12 @@ std::vector<OperationReply> DataComponent::PerformBatch(
       stats_.reply_cache_hits.fetch_add(1);
       continue;
     }
-    replies[i] = Perform(reqs[i]);
+    replies[i] = PerformImpl(reqs[i], /*record_redo=*/true,
+                             /*defer_redo_force=*/true);
   }
+  // One redo force for the whole batch (group commit): no reply leaves
+  // this message handler before its entry is durable.
+  if (redo_log_ != nullptr) redo_log_->Force();
   return replies;
 }
 
@@ -1382,6 +1521,222 @@ void DataComponent::ExitSentinel(const OperationRequest& req) {
   if (!options_.conflict_sentinel) return;
   std::lock_guard<std::mutex> guard(sentinel_mu_);
   in_flight_.erase(SentinelKey(req.table_id, req.key));
+}
+
+// -- Replication & local recovery (PR 8) --------------------------------------
+
+void DataComponent::StartAsReplica() {
+  if (redo_log_ == nullptr) {
+    redo_log_ = std::make_unique<DcRedoLog>(options_.redo_log);
+    if (redo_log_->end() > 0) redo_state_current_.store(false);
+  }
+  role_.store(DcRole::kReplica);
+}
+
+void DataComponent::Promote(uint64_t epoch) {
+  if (TraceEnabled()) {
+    fprintf(stderr, "[dc %p] PROMOTE epoch=%llu log_end=%llu\n", (void*)this,
+            (unsigned long long)epoch,
+            (unsigned long long)(redo_log_ ? redo_log_->end() : 0));
+  }
+  // Record the fence point BEFORE opening for traffic: anything a
+  // rejoining ex-primary holds past this rlsn is divergent history.
+  promotion_epoch_.store(epoch);
+  promotion_base_.store(redo_log_ != nullptr ? redo_log_->end() : 0);
+  role_.store(DcRole::kPrimary);
+  stats_.promotions.fetch_add(1);
+}
+
+Status DataComponent::RejoinAsReplica(uint64_t promotion_base) {
+  if (redo_log_ == nullptr) {
+    return Status::InvalidArgument("dc has no redo log");
+  }
+  if (TraceEnabled()) {
+    fprintf(stderr, "[dc %p] REJOIN promotion_base=%llu log_end=%llu\n",
+            (void*)this, (unsigned long long)promotion_base,
+            (unsigned long long)redo_log_->end());
+  }
+  // Replica role first: no TC traffic may append past the truncation.
+  role_.store(DcRole::kReplica);
+  redo_log_->set_replication_enabled(false);
+  redo_log_->TruncateFrom(promotion_base + 1);
+  // Pages may still hold effects of the dropped suffix. That is safe:
+  // every such op is either re-shipped by the new primary (identical
+  // content, absorbed as an abLSN duplicate) or cancelled by a TC reset
+  // in the stream, which rebuilds this replica from scratch anyway.
+  return Status::OK();
+}
+
+Status DataComponent::ApplyOneReplicated(const RedoEntry& entry) {
+  switch (entry.kind) {
+    case RedoEntryKind::kOp: {
+      OperationRequest req;
+      Slice in(entry.payload);
+      if (!OperationRequest::DecodeFrom(&in, &req)) {
+        return Status::Corruption("bad replicated op entry");
+      }
+      // A replayed op is recovery redo regardless of how it was first
+      // delivered: the payload snapshots the ORIGINAL send's flag, but
+      // here the op re-establishes page state after a regression. The
+      // flag matters — a page the reset just reverted can still carry a
+      // folded-LWM abLSN that over-covers this op (the fold only claimed
+      // "the TC will never resend below here", which replay violates by
+      // design), and only the recovery path distrusts such coverage.
+      req.recovery_resend = true;
+      OperationReply r = PerformImpl(req, /*record_redo=*/false,
+                                     /*defer_redo_force=*/true);
+      if (r.status.IsBusy()) {
+        // The stream applies in strict rlsn order with no competing
+        // traffic, so a parked strategy-1 flush can refuse this op
+        // forever — the collapsing control may sit behind it in the
+        // stream (cancel-filtered in-sets cover less than live history
+        // did). Abandon the parked flushes and try again.
+        pool_->AbandonParkedFlushes();
+        r = PerformImpl(req, /*record_redo=*/false,
+                        /*defer_redo_force=*/true);
+      }
+      if (r.status.IsBusy() || r.status.IsCrashed() ||
+          r.status.IsTimedOut()) {
+        if (TraceEnabled()) {
+          fprintf(stderr, "[dc %p] REPLICA-DEFER %s op=%d tc=%u lsn=%llu\n",
+                  (void*)this, r.status.ToString().c_str(), (int)req.op,
+                  req.tc_id, (unsigned long long)req.lsn);
+        }
+        return Status::Busy("replica apply deferred");
+      }
+      return Status::OK();
+    }
+    case RedoEntryKind::kLwm:
+      pool_->OnLowWaterMark(entry.tc, entry.lsn);
+      PruneReplies(entry.tc, entry.lsn);
+      return Status::OK();
+    case RedoEntryKind::kEosl:
+      pool_->OnEndOfStableLog(entry.tc, entry.lsn);
+      return Status::OK();
+    case RedoEntryKind::kWatermark:
+      // The primary checkpointed here: flush our own eligible pages so
+      // replica restarts replay a comparably short effective suffix and
+      // the pool never jams on unflushable dirt during long catch-ups.
+      pool_->FlushAllEligible();
+      return Status::OK();
+    case RedoEntryKind::kReset:
+      return Status::OK();  // handled by the caller (reset-by-replay)
+  }
+  return Status::OK();
+}
+
+Status DataComponent::ReplayRedoEntries(const std::vector<RedoEntry>& entries,
+                                        uint64_t* ops) {
+  for (const RedoEntry& e : entries) {
+    Status s = ApplyOneReplicated(e);
+    // A replay runs with no competing traffic, so Busy here is a
+    // transient flush/split window — retry briefly instead of failing
+    // the whole recovery over it.
+    for (int attempt = 0; s.IsBusy() && attempt < 200; ++attempt) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      s = ApplyOneReplicated(e);
+    }
+    if (!s.ok()) return s;
+    if (e.kind == RedoEntryKind::kOp && ops != nullptr) ++*ops;
+  }
+  return Status::OK();
+}
+
+Status DataComponent::ApplyReplicated(const ReplicaEntriesMessage& msg) {
+  if (redo_log_ == nullptr || role_.load() != DcRole::kReplica) {
+    return Status::InvalidArgument("not an active replica");
+  }
+  if (crashed_.load()) return Status::Crashed("dc is down");
+  // Serialized like recovery resends: the stream must apply in order.
+  std::lock_guard<std::recursive_mutex> serial(recovery_serial_mu_);
+  if (msg.from_rlsn > redo_log_->end() + 1) {
+    return Status::InvalidArgument("replication gap; resubscribe");
+  }
+  for (size_t i = 0; i < msg.entries.size(); ++i) {
+    const uint64_t rlsn = msg.from_rlsn + i;
+    if (rlsn <= redo_log_->end()) continue;  // overlap: already applied
+    const RedoEntry& e = msg.entries[i];
+    if (e.kind == RedoEntryKind::kReset) {
+      // Append BEFORE rebuilding: the rebuild's cancellation filter
+      // keys off this entry's position in the retained log.
+      redo_log_->Append(e);
+      redo_log_->Force();
+      Status s = ReplicaResetByReplay();
+      if (!s.ok()) return s;
+    } else {
+      Status s = ApplyOneReplicated(e);
+      if (!s.ok()) {
+        // Transient (busy/flush-wait): force what we have; the link
+        // retries from our end + 1.
+        redo_log_->Force();
+        return s;
+      }
+      redo_log_->Append(e);
+    }
+    stats_.replica_entries_applied.fetch_add(1);
+  }
+  redo_log_->Force();
+  return Status::OK();
+}
+
+Status DataComponent::ReplicaResetByReplay() {
+  stats_.replica_resets_replayed.fetch_add(1);
+  // Snapshot the replay set first (the wipe never touches the redo log).
+  std::vector<RedoEntry> survivors;
+  redo_log_->SnapshotSurvivingOps(&survivors);
+  // Full wipe: pool, caches, SMO log, store, tree format. Mirrors
+  // Crash() + a store/SMO-log clear, then a fresh Bootstrap.
+  crashed_.store(true);
+  {
+    std::unique_lock<std::mutex> lock(quiesce_mu_);
+    quiesce_cv_.wait(lock, [this] { return active_ops_.load() == 0; });
+  }
+  pool_->Clear();
+  dc_log_->Clear();
+  {
+    std::lock_guard<std::mutex> guard(reply_mu_);
+    reply_cache_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> guard(sentinel_mu_);
+    in_flight_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> guard(redo_mu_);
+    redo_fresh_max_.clear();
+  }
+  ClearScanCursors();
+  store_->Reset();
+  crashed_.store(false);
+  Status s = btree_->Bootstrap();
+  if (s.ok()) s = ReplayRedoEntries(survivors, nullptr);
+  if (!s.ok()) {
+    // A half-rebuilt replica must never be promoted.
+    crashed_.store(true);
+  } else {
+    redo_state_current_.store(true);
+  }
+  return s;
+}
+
+Status DataComponent::RecoverFromLocalLog(uint64_t* replayed_out) {
+  if (redo_log_ == nullptr) {
+    return Status::InvalidArgument("dc has no redo log");
+  }
+  if (crashed_.load()) return Status::Crashed("dc is down");
+  std::lock_guard<std::recursive_mutex> serial(recovery_serial_mu_);
+  // Always the full cancel-filtered set from rlsn 1: checkpoint
+  // watermarks cannot promise every op <= W reached a stable page
+  // (EOSL-ineligible pages hold ops back), but abLSN duplicate
+  // detection makes re-offering already-reflected ops cheap.
+  std::vector<RedoEntry> entries;
+  redo_log_->SnapshotSurvivingOps(&entries);
+  uint64_t ops = 0;
+  Status s = ReplayRedoEntries(entries, &ops);
+  stats_.local_recovery_ops.fetch_add(ops);
+  if (replayed_out != nullptr) *replayed_out = ops;
+  if (s.ok()) redo_state_current_.store(true);
+  return s;
 }
 
 }  // namespace untx

@@ -40,6 +40,7 @@
 #include "dc/buffer_pool.h"
 #include "dc/dc_api.h"
 #include "dc/dc_log.h"
+#include "dc/dc_redo_log.h"
 #include "storage/stable_store.h"
 
 namespace untx {
@@ -61,6 +62,19 @@ struct DataComponentOptions {
   /// legitimately sit idle for a full lock wait between its probe chunk
   /// and the rewind credit.
   uint32_t scan_cursor_ttl_ms = 10000;
+  /// Maintain a DcRedoLog of applied operations (PR 8): required for
+  /// replication (primary or replica role) and for local --recover.
+  bool redo_log_enabled = false;
+  DcRedoLogOptions redo_log;
+};
+
+/// Replication role. A replica applies the primary's redo stream via
+/// ApplyReplicated() and rejects direct TC traffic (it is not in any
+/// TC's routing table until promoted); Promote() fences it at a
+/// promotion epoch and opens it for TC traffic.
+enum class DcRole : uint8_t {
+  kPrimary = 0,
+  kReplica = 1,
 };
 
 struct DataComponentStats {
@@ -90,6 +104,12 @@ struct DataComponentStats {
   std::atomic<uint64_t> scan_cursor_hint_hits{0};
   std::atomic<uint64_t> scan_cursor_descends{0};
   std::atomic<uint64_t> scan_cursors_evicted{0};
+  // Replication + local recovery (PR 8).
+  std::atomic<uint64_t> redo_entries_appended{0};
+  std::atomic<uint64_t> replica_entries_applied{0};  ///< entries absorbed from a primary
+  std::atomic<uint64_t> replica_resets_replayed{0};  ///< full reset-by-replay rebuilds
+  std::atomic<uint64_t> local_recovery_ops{0};       ///< ops replayed by --recover
+  std::atomic<uint64_t> promotions{0};
 };
 
 class DataComponent : public DcService {
@@ -149,10 +169,50 @@ class DataComponent : public DcService {
   /// implicitly on every stream open / credit; exposed for tests.
   size_t EvictIdleScanCursors();
 
+  // -- Replication & local recovery (PR 8) -----------------------------------
+
+  DcRole role() const { return role_.load(); }
+  uint64_t promotion_epoch() const { return promotion_epoch_.load(); }
+  /// Redo end at the moment of promotion — the rlsn a rejoining
+  /// ex-primary truncates its own log back to.
+  uint64_t promotion_base() const { return promotion_base_.load(); }
+
+  /// Puts the DC into replica role (before any traffic). It will only
+  /// mutate through ApplyReplicated() until promoted.
+  void StartAsReplica();
+
+  /// Fences the replica at `epoch` and opens it as the primary. The
+  /// reply cache built while applying the stream answers in-flight TC
+  /// resends idempotently, so a caught-up standby promotes with zero
+  /// full redo-resend.
+  void Promote(uint64_t epoch);
+
+  /// A recovered ex-primary rejoining as a replica of the new primary:
+  /// drops its redo suffix past the promotion base (that suffix may
+  /// contain ops the new primary never acked and orders differently)
+  /// and re-enters replica role. The overlap the new primary re-ships
+  /// is absorbed by abLSN duplicate detection.
+  Status RejoinAsReplica(uint64_t promotion_base);
+
+  /// Applies one shipped batch (replica role). Entries must extend the
+  /// local log densely: a gap returns InvalidArgument and the caller
+  /// re-subscribes from redo_log()->end() + 1. Appends each entry to
+  /// the local redo log (same rlsn as the primary) and forces once.
+  Status ApplyReplicated(const ReplicaEntriesMessage& msg);
+
+  /// Local recovery from the DC's own durable state (untx_dcd
+  /// --recover): call after Recover(), with the store's pages loaded
+  /// from disk. Replays the cancel-filtered op log from rlsn 1; ops
+  /// already reflected in checkpointed pages are skipped by abLSN
+  /// duplicate detection, so the pass is cheap when checkpoints are
+  /// fresh. TCs then resend only unacknowledged in-flight suffixes.
+  Status RecoverFromLocalLog(uint64_t* replayed_out = nullptr);
+
   // -- Introspection (tests, benches, wired deployments) ---------------------
   BufferPool* pool() { return pool_.get(); }
   BTree* btree() { return btree_.get(); }
   DcLog* dc_log() { return dc_log_.get(); }
+  DcRedoLog* redo_log() { return redo_log_.get(); }
   StableStore* store() { return store_; }
   const DataComponentStats& stats() const { return stats_; }
   const DataComponentOptions& options() const { return options_; }
@@ -165,6 +225,33 @@ class DataComponent : public DcService {
     bool maybe_consolidate = false;
     std::string consolidate_key;
   };
+
+  /// The Perform body. `record_redo`: append logically-completed writes
+  /// to the redo log (false on replica apply and local replay — those
+  /// manage the log themselves). `defer_redo_force`: skip the per-op
+  /// Force (the caller forces once for the whole batch).
+  OperationReply PerformImpl(const OperationRequest& req, bool record_redo,
+                             bool defer_redo_force);
+  /// Appends `req` to the redo log and stamps reply->rlsn if the reply
+  /// is a non-duplicate logical completion (the abLSN advanced).
+  void MaybeAppendRedo(const OperationRequest& req, OperationReply* reply,
+                       bool record, bool defer_force);
+  /// Appends a control entry (reset / lwm / eosl / watermark) and forces
+  /// it — control entries are low-rate and must never ship volatile.
+  void AppendRedoControl(RedoEntryKind kind, TcId tc, uint64_t lsn);
+  /// The replica's response to a kReset entry: full wipe (store, SMO
+  /// log, tree) + cancel-filtered replay of the retained redo log. The
+  /// primary resets by dropping exactly the covered pages, but the
+  /// replica's page/flush history diverges from the primary's, so the
+  /// per-page protocol does not transfer — rebuilding from the filtered
+  /// history does.
+  Status ReplicaResetByReplay();
+  /// Applies one redo entry without touching the redo log (the caller
+  /// owns append/force bookkeeping). kReset is a no-op here.
+  Status ApplyOneReplicated(const RedoEntry& entry);
+  /// Applies a replay set in order; counts op entries into *ops.
+  Status ReplayRedoEntries(const std::vector<RedoEntry>& entries,
+                           uint64_t* ops);
 
   OperationReply ApplyOnce(const OperationRequest& req, ApplyOutcome* out);
   OperationReply DoRead(const OperationRequest& req);
@@ -240,6 +327,17 @@ class DataComponent : public DcService {
   std::unique_ptr<DcLog> dc_log_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<BTree> btree_;
+  std::unique_ptr<DcRedoLog> redo_log_;  // null unless redo_log_enabled
+
+  std::atomic<DcRole> role_{DcRole::kPrimary};
+  std::atomic<uint64_t> promotion_epoch_{0};
+  std::atomic<uint64_t> promotion_base_{0};
+  /// True while the DC's state provably reflects every durable redo-log
+  /// entry (normal operation, successful local replay, replica apply).
+  /// False after a crash or when a log was loaded from disk without a
+  /// replay — kQueryReplication then reports rlsn 0 and TCs degrade to
+  /// the full redo-resend instead of trusting a stale prefix.
+  std::atomic<bool> redo_state_current_{true};
 
   std::atomic<bool> crashed_{false};
   std::atomic<int> active_ops_{0};

@@ -67,6 +67,7 @@ void OperationReply::EncodeTo(std::string* dst) const {
   for (const auto& k : keys) PutLengthPrefixedSlice(dst, k);
   PutVarint32(dst, static_cast<uint32_t>(values.size()));
   for (const auto& v : values) PutLengthPrefixedSlice(dst, v);
+  PutVarint64(dst, rlsn);
 }
 
 bool OperationReply::DecodeFrom(Slice* input, OperationReply* out) {
@@ -101,6 +102,7 @@ bool OperationReply::DecodeFrom(Slice* input, OperationReply* out) {
     if (!GetLengthPrefixedSlice(input, &v)) return false;
     out->values.push_back(v.ToString());
   }
+  if (!GetVarint64(input, &out->rlsn)) return false;
   out->tc_id = tc;
   out->lsn = lsn;
   out->status = StatusFromByte(code, msg.ToString());
@@ -330,6 +332,8 @@ void ControlReply::EncodeTo(std::string* dst) const {
   PutLengthPrefixedSlice(dst, status.message());
   PutVarint32(dst, static_cast<uint32_t>(escalate_tcs.size()));
   for (TcId tc : escalate_tcs) PutFixed16(dst, tc);
+  dst->push_back(static_cast<char>(replication_enabled ? 1 : 0));
+  PutVarint64(dst, rlsn);
 }
 
 bool ControlReply::DecodeFrom(Slice* input, ControlReply* out) {
@@ -352,6 +356,10 @@ bool ControlReply::DecodeFrom(Slice* input, ControlReply* out) {
     if (!GetFixed16(input, &tc)) return false;
     out->escalate_tcs.push_back(tc);
   }
+  if (input->empty()) return false;
+  out->replication_enabled = ((*input)[0] & 1) != 0;
+  input->remove_prefix(1);
+  if (!GetVarint64(input, &out->rlsn)) return false;
   return true;
 }
 

@@ -61,6 +61,12 @@ struct OperationReply {
   /// kProbeNext / kScanRange results.
   std::vector<std::string> keys;
   std::vector<std::string> values;
+  /// DC redo-log position (1-based) of this operation's applied entry;
+  /// 0 when the DC keeps no redo log or the op mutated nothing. A TC
+  /// that records it can skip the op during DC recovery whenever the
+  /// revived DC (or a promoted standby) already holds that rlsn — the
+  /// suffix-only resend of PR 8.
+  uint64_t rlsn = 0;
 
   void EncodeTo(std::string* dst) const;
   static bool DecodeFrom(Slice* input, OperationReply* out);
@@ -74,6 +80,11 @@ enum class ControlType : uint8_t {
   kRestartBegin = 4,    ///< TC restart: arg = LSNst (stable TC log end).
   kRestartEnd = 5,      ///< TC restart finished; resume normal service.
   kDcCheckpoint = 6,    ///< Ask the DC to take a local checkpoint.
+  /// Does the DC keep a redo log, and how far does it reach? The reply
+  /// carries replication_enabled + rlsn (the DC's applied end). A TC
+  /// recovering this DC asks first: a positive answer turns the full
+  /// redo-resend into a suffix-only resend.
+  kQueryReplication = 7,
 };
 
 struct ControlRequest {
@@ -95,6 +106,13 @@ struct ControlReply {
   /// TC's reset and therefore must also resend from their RSSP (the
   /// escalation case of §6.1.2; normally empty).
   std::vector<TcId> escalate_tcs;
+  /// kQueryReplication: whether this DC keeps a redo log (and ships it).
+  bool replication_enabled = false;
+  /// kQueryReplication: the DC's applied redo end. kCheckpoint: the
+  /// GRANTED checkpoint lsn — the DC may clamp the TC's requested RSSP
+  /// below the oldest op a lagging replica still needs, so log pruning
+  /// never outruns the slowest standby.
+  uint64_t rlsn = 0;
 
   void EncodeTo(std::string* dst) const;
   static bool DecodeFrom(Slice* input, ControlReply* out);
@@ -225,6 +243,13 @@ enum class MessageKind : uint8_t {
   kScanStreamRequest = 7,
   kScanStreamChunk = 8,
   kScanCredit = 9,
+  /// Redo-log shipping (PR 8): a replica DC subscribes to a primary's
+  /// applied-op stream, the primary pushes entry batches, the replica
+  /// acks its applied rlsn. Bodies are the Replica* structs of
+  /// dc/dc_redo_log.h.
+  kReplicaSubscribe = 10,
+  kReplicaEntries = 11,
+  kReplicaAck = 12,
 };
 
 std::string WrapMessage(MessageKind kind, const std::string& body);

@@ -157,6 +157,13 @@ void DcLog::Crash() {
   }
 }
 
+void DcLog::Clear() {
+  std::lock_guard<std::mutex> guard(mu_);
+  log_.Clear();
+  pending_.clear();
+  batch_starts_.clear();
+}
+
 void DcLog::TruncateBelow(DLsn dlsn) {
   std::lock_guard<std::mutex> guard(mu_);
   if (dlsn == kInvalidDLsn) return;

@@ -98,6 +98,11 @@ class DcLog {
   /// Drops volatile batches (DC crash).
   void Crash();
 
+  /// Wipes the log back to empty, backing file included. Part of the
+  /// replica reset-by-replay wipe: stale SMO records must never replay
+  /// against the rebuilt-from-scratch tree.
+  void Clear();
+
   /// Metadata of one not-yet-forced batch (for TC-crash reset).
   struct PendingBatchInfo {
     std::map<TcId, Lsn> floor;

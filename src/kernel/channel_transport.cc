@@ -125,10 +125,13 @@ void ChannelTransport::ServerLoop() {
     MessageKind kind;
     Slice body;
     if (!UnwrapMessage(wire, &kind, &body)) continue;
+    // One consistent backend per message (Retarget may swap it between
+    // messages during a failover).
+    DataComponent* dc = dc_.load();
     if (kind == MessageKind::kOperationRequest) {
       OperationRequest req;
       if (!OperationRequest::DecodeFrom(&body, &req)) continue;
-      OperationReply reply = dc_->Perform(req);
+      OperationReply reply = dc->Perform(req);
       // A crashed DC sends nothing — its reply dies with it.
       if (reply.status.IsCrashed()) continue;
       std::string out;
@@ -137,7 +140,7 @@ void ChannelTransport::ServerLoop() {
     } else if (kind == MessageKind::kOperationBatch) {
       OperationBatch batch;
       if (!OperationBatch::DecodeFrom(&body, &batch)) continue;
-      std::vector<OperationReply> replies = dc_->PerformBatch(batch.ops);
+      std::vector<OperationReply> replies = dc->PerformBatch(batch.ops);
       // A crashed DC sends nothing per op; suppress those replies and the
       // whole message if none survive.
       OperationBatchReply batch_reply;
@@ -152,17 +155,17 @@ void ChannelTransport::ServerLoop() {
     } else if (kind == MessageKind::kScanStreamRequest) {
       ScanStreamRequest req;
       if (!ScanStreamRequest::DecodeFrom(&body, &req)) continue;
-      dc_->PerformScanStream(
+      dc->PerformScanStream(
           req, [this](const ScanStreamChunk& chunk) { EmitChunk(chunk); });
     } else if (kind == MessageKind::kScanCredit) {
       ScanCreditRequest req;
       if (!ScanCreditRequest::DecodeFrom(&body, &req)) continue;
-      dc_->ScanCredit(
+      dc->ScanCredit(
           req, [this](const ScanStreamChunk& chunk) { EmitChunk(chunk); });
     } else if (kind == MessageKind::kControlRequest) {
       ControlRequest req;
       if (!ControlRequest::DecodeFrom(&body, &req)) continue;
-      ControlReply reply = dc_->Control(req);
+      ControlReply reply = dc->Control(req);
       if (reply.status.IsCrashed()) continue;
       std::string out;
       reply.EncodeTo(&out);

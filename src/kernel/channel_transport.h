@@ -63,6 +63,10 @@ class ChannelTransport {
   /// it). Replies already on the wire still arrive.
   void OnDcCrash();
 
+  /// Points the server side at a different DC — hot-standby failover:
+  /// the binding (channels, threads, stats) survives, the backend swaps.
+  void Retarget(DataComponent* dc) { dc_.store(dc); }
+
   const SimChannel& request_channel() const { return request_ch_; }
   const SimChannel& reply_channel() const { return reply_ch_; }
 
@@ -139,7 +143,9 @@ class ChannelTransport {
   /// accounting (suppressed for a crashed DC).
   void EmitChunk(const ScanStreamChunk& chunk);
 
-  DataComponent* dc_;
+  /// Atomic: server threads read it per message; Retarget (failover)
+  /// swaps it while they run.
+  std::atomic<DataComponent*> dc_;
   ChannelTransportOptions options_;
   SimChannel request_ch_;
   SimChannel reply_ch_;

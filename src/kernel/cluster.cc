@@ -15,6 +15,7 @@ class DirectBoundTransport : public BoundTransport {
  public:
   explicit DirectBoundTransport(DataComponent* dc) : client_(dc) {}
   DcClient* client() override { return &client_; }
+  void Retarget(DataComponent* dc) override { client_.set_target(dc); }
 
  private:
   DirectDcClient client_;
@@ -52,6 +53,7 @@ class ChannelBoundTransport : public BoundTransport {
   void Start() override { transport_.Start(); }
   void Stop() override { transport_.Stop(); }
   void OnDcCrash() override { transport_.OnDcCrash(); }
+  void Retarget(DataComponent* dc) override { transport_.Retarget(dc); }
 
  private:
   ChannelTransport transport_;
@@ -104,6 +106,10 @@ StatusOr<std::unique_ptr<Cluster>> Cluster::Open(ClusterOptions options) {
     }
   }
 
+  // Hot standbys ride the primary's ordered redo history; shipping is
+  // impossible without the log, so standbys imply it.
+  if (options.replicas_per_dc > 0) options.dc.redo_log_enabled = true;
+
   auto cluster = std::unique_ptr<Cluster>(new Cluster());
   cluster->options_ = options;
 
@@ -113,6 +119,37 @@ StatusOr<std::unique_ptr<Cluster>> Cluster::Open(ClusterOptions options) {
         cluster->stores_.back().get(), options.dc));
     Status s = cluster->dcs_.back()->Initialize();
     if (!s.ok()) return s;
+  }
+
+  cluster->replica_stores_.resize(options.num_dcs);
+  cluster->replicas_.resize(options.num_dcs);
+  cluster->links_.resize(options.num_dcs);
+  cluster->promotion_epochs_.assign(options.num_dcs, 0);
+  if (options.replicas_per_dc > 0) {
+    // In-process standbys share the primary's knobs but never its files:
+    // a standby's durability IS the primary plus the shipped log, and two
+    // stores on one path would corrupt each other.
+    StableStoreOptions replica_store = options.store;
+    replica_store.path.clear();
+    DataComponentOptions replica_dc = options.dc;
+    replica_dc.redo_log.path.clear();
+    for (int d = 0; d < options.num_dcs; ++d) {
+      for (int r = 0; r < options.replicas_per_dc; ++r) {
+        cluster->replica_stores_[d].push_back(
+            std::make_unique<StableStore>(replica_store));
+        auto rep = std::make_unique<DataComponent>(
+            cluster->replica_stores_[d].back().get(), replica_dc);
+        Status s = rep->Initialize();
+        if (!s.ok()) return s;
+        rep->StartAsReplica();
+        ReplicationLinkOptions link = options.replication;
+        link.replica_id = cluster->next_replica_id_++;
+        cluster->links_[d].push_back(std::make_unique<ReplicationLink>(
+            cluster->dcs_[d].get(), rep.get(), link));
+        cluster->replicas_[d].push_back(std::move(rep));
+        cluster->links_[d].back()->Start();
+      }
+    }
   }
 
   Router fallback = options.default_router;
@@ -221,6 +258,9 @@ StatusOr<std::unique_ptr<Cluster>> Cluster::Open(ClusterOptions options) {
 }
 
 Cluster::~Cluster() {
+  // Shipping threads first: they walk primary redo logs and poke
+  // replicas, both of which are about to go away.
+  for (auto& row : links_) row.clear();
   for (auto& tc : tcs_) tc->Stop();
   for (auto& row : bindings_) {
     for (auto& binding : row) binding->Stop();
@@ -298,6 +338,13 @@ Status Cluster::RecoverDc(int d) {
   // Phase 1: DC-local recovery makes the structures well-formed (§5.2.2).
   Status s = dcs_[d]->Recover();
   if (!s.ok()) return s;
+  // Phase 1b: a DC with a retained redo log replays it locally, so the
+  // TCs' kQueryReplication probe sees a current redo end and phase 2
+  // degrades to a suffix resend of in-flight ops only.
+  if (dcs_[d]->redo_log() != nullptr) {
+    s = dcs_[d]->RecoverFromLocalLog();
+    if (!s.ok()) return s;
+  }
   // Phase 2: the out-of-band prompt — every TC redo-resends from its
   // RSSP (§5.3.2 "DC Failure"; with several TCs, each owns a slice of
   // the lost operations). Run EVERY TC even if one fails: each
@@ -315,6 +362,105 @@ Status Cluster::RecoverDc(int d) {
 Status Cluster::CrashAndRecoverDc(int d) {
   CrashDc(d);
   return RecoverDc(d);
+}
+
+Status Cluster::FailoverDc(int d) {
+  if (d < 0 || d >= num_dcs()) return Status::InvalidArgument("no such dc");
+  if (replicas_[d].empty()) {
+    return Status::InvalidArgument("dc has no standby to fail over to");
+  }
+  // A planned drill may target a live primary; kill it first so the slot
+  // swap below is the only transition the TCs observe.
+  if (!dcs_[d]->crashed()) CrashDc(d);
+  // Quiesce shipping before the slots move underneath the link threads.
+  links_[d].clear();
+  // Most-caught-up live standby wins.
+  int best = -1;
+  uint64_t best_end = 0;
+  for (int r = 0; r < static_cast<int>(replicas_[d].size()); ++r) {
+    DataComponent* rep = replicas_[d][r].get();
+    if (rep->crashed()) continue;
+    uint64_t end = rep->redo_log() != nullptr ? rep->redo_log()->end() : 0;
+    if (best < 0 || end > best_end) {
+      best = r;
+      best_end = end;
+    }
+  }
+  if (best < 0) return Status::Crashed("no live standby to promote");
+  replicas_[d][best]->Promote(++promotion_epochs_[d]);
+  // The promoted standby takes the primary slot; the dead ex-primary
+  // parks in its old replica slot for a later RejoinReplica.
+  std::swap(dcs_[d], replicas_[d][best]);
+  std::swap(stores_[d], replica_stores_[d][best]);
+  // Bindings and the loopback socket server survive; only the backend
+  // they dispatch into changes.
+  for (auto& row : bindings_) row[d]->Retarget(dcs_[d].get());
+  if (d < static_cast<int>(socket_servers_.size()) &&
+      socket_servers_[d] != nullptr) {
+    socket_servers_[d]->Retarget(dcs_[d].get());
+  }
+  // Remaining live standbys re-subscribe to the new primary (fresh
+  // replica ids; their acked positions restart from their own log ends).
+  for (int r = 0; r < static_cast<int>(replicas_[d].size()); ++r) {
+    DataComponent* rep = replicas_[d][r].get();
+    if (rep->crashed()) continue;
+    ReplicationLinkOptions link = options_.replication;
+    link.replica_id = next_replica_id_++;
+    links_[d].push_back(
+        std::make_unique<ReplicationLink>(dcs_[d].get(), rep, link));
+    links_[d].back()->Start();
+  }
+  // Suffix resend: OnDcRestart probes the promoted DC's redo end, so each
+  // TC re-drives only ops the standby had not yet applied — with a
+  // caught-up standby that is just the unacknowledged in-flight tail,
+  // zero full redo-resend. Run EVERY TC even on error: each call also
+  // re-opens that TC's recovering gate.
+  Status first;
+  for (auto& tc : tcs_) {
+    Status rs = tc->OnDcRestart(static_cast<DcId>(d));
+    if (first.ok() && !rs.ok()) first = rs;
+  }
+  return first;
+}
+
+Status Cluster::RejoinReplica(int d, int r) {
+  if (d < 0 || d >= num_dcs()) return Status::InvalidArgument("no such dc");
+  if (r < 0 || r >= static_cast<int>(replicas_[d].size())) {
+    return Status::InvalidArgument("no such replica");
+  }
+  DataComponent* rep = replicas_[d][r].get();
+  if (!rep->crashed()) {
+    return Status::InvalidArgument("replica is live; nothing to rejoin");
+  }
+  // Tear down any stale link to this replica FIRST: its shipper must not
+  // race the truncation below, and its ack-map entry would otherwise
+  // clamp the primary's checkpoints (and pin MaxReplicaLag) forever.
+  for (auto it = links_[d].begin(); it != links_[d].end();) {
+    if ((*it)->replica() == rep) {
+      it = links_[d].erase(it);
+    } else {
+      ++it;
+    }
+  }
+  rep->Restore();
+  // Same phase 1 as any DC revival: well-formed search structures first.
+  Status rs = rep->Recover();
+  if (!rs.ok()) return rs;
+  // Fence at the current primary's promotion base: any divergent suffix
+  // (ops the ex-primary logged that never shipped) is dropped here and
+  // re-enters history via the TCs' failover resend to the new primary.
+  Status s = rep->RejoinAsReplica(dcs_[d]->promotion_base());
+  if (!s.ok()) return s;
+  // Its own retained log brings the restored pages forward to the fence;
+  // the link below ships everything past it.
+  s = rep->RecoverFromLocalLog();
+  if (!s.ok()) return s;
+  ReplicationLinkOptions link = options_.replication;
+  link.replica_id = next_replica_id_++;
+  links_[d].push_back(
+      std::make_unique<ReplicationLink>(dcs_[d].get(), rep, link));
+  links_[d].back()->Start();
+  return Status::OK();
 }
 
 void Cluster::CrashTc(int t) {

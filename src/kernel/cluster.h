@@ -30,6 +30,7 @@
 #include "common/status_or.h"
 #include "dc/data_component.h"
 #include "kernel/channel_transport.h"
+#include "kernel/replication_link.h"
 #include "storage/stable_store.h"
 #include "tc/dc_client.h"
 #include "tc/transaction_component.h"
@@ -80,6 +81,12 @@ class BoundTransport {
 
   /// The DC behind this binding crashed: in-flight requests die with it.
   virtual void OnDcCrash() {}
+
+  /// Hot-standby failover: point this binding at the promoted DC. The
+  /// client pointer stays valid — only the backend swaps. Socket
+  /// bindings ignore this (the Cluster retargets the shared
+  /// SocketServer instead; the wire endpoint does not move).
+  virtual void Retarget(DataComponent* target) { (void)target; }
 };
 
 /// Produces the binding one TC uses to reach one DC. Consulted once per
@@ -147,6 +154,14 @@ struct ClusterOptions {
   std::shared_ptr<TransportFactory> binding_factory;
   /// Fallback router when a TcSpec has none: table_id % num_dcs.
   Router default_router;
+  /// Hot standbys per DC (PR 8). > 0 turns on the DC redo log for every
+  /// primary and replica, builds `replicas_per_dc` replica DCs (own
+  /// StableStore each) behind each primary, and ships the primary's
+  /// redo log to them continuously over ReplicationLinks. FailoverDc
+  /// promotes the most-caught-up standby when a primary dies.
+  int replicas_per_dc = 0;
+  /// Shipping knobs of the in-process links (batch size, poll cadence).
+  ReplicationLinkOptions replication;
 };
 
 class Cluster {
@@ -194,6 +209,27 @@ class Cluster {
     return socket_servers_[d].get();
   }
 
+  // -- Replication (PR 8) ------------------------------------------------------
+  /// Standbys behind DC d (replicas_per_dc at open; a failover leaves
+  /// the crashed ex-primary parked in the promoted standby's old slot).
+  int num_replicas(int d) const {
+    if (d < 0 || d >= static_cast<int>(replicas_.size())) return 0;
+    return static_cast<int>(replicas_[d].size());
+  }
+  /// Replica r behind DC d; nullptr for out-of-range indices.
+  DataComponent* replica(int d, int r) {
+    if (d < 0 || d >= static_cast<int>(replicas_.size())) return nullptr;
+    if (r < 0 || r >= static_cast<int>(replicas_[d].size())) return nullptr;
+    return replicas_[d][r].get();
+  }
+  /// How far DC d's slowest live standby trails its redo end (0 when
+  /// caught up or unreplicated).
+  uint64_t ReplicaLag(int d) {
+    DataComponent* p = dc(d);
+    if (p == nullptr || p->redo_log() == nullptr) return 0;
+    return p->redo_log()->MaxReplicaLag();
+  }
+
   /// All wire counters folded over every binding (channel AND socket;
   /// direct bindings contribute nothing). The Total* accessors below
   /// are views of this.
@@ -229,6 +265,23 @@ class Cluster {
   Status RecoverDc(int d);
   Status CrashAndRecoverDc(int d);
 
+  /// Hot-standby failover for a dead DC d: stops shipping, promotes the
+  /// most-caught-up live standby (next epoch), swaps it into the
+  /// primary slot, retargets every TC binding (and the loopback socket
+  /// server), then runs the per-TC suffix resend — with a caught-up
+  /// standby, only unacknowledged in-flight ops travel (zero full
+  /// redo-resend). Crashes the primary first if it is still up (a
+  /// planned drill). The ex-primary parks, crashed, in the promoted
+  /// standby's old replica slot; revive it with RejoinReplica.
+  Status FailoverDc(int d);
+
+  /// Revives crashed replica-slot (d, r) — typically the retired
+  /// ex-primary after FailoverDc — as a standby of the current primary:
+  /// restore, fence its redo log at the promotion base (divergent
+  /// suffix dropped), replay its own retained log locally, then attach
+  /// a fresh shipping link so it catches up.
+  Status RejoinReplica(int d, int r);
+
   /// Kills TC t: volatile log tail, transaction state and locks vanish.
   void CrashTc(int t);
   /// Restarts TC t per §5.3.2 "TC Failure", then runs any §6.1.2
@@ -253,6 +306,16 @@ class Cluster {
   // bindings_[t][d]: TC t's transport to DC d.
   std::vector<std::vector<std::unique_ptr<BoundTransport>>> bindings_;
   std::vector<std::unique_ptr<TransactionComponent>> tcs_;
+
+  // -- Replication state (PR 8), indexed by primary slot d -------------------
+  std::vector<std::vector<std::unique_ptr<StableStore>>> replica_stores_;
+  std::vector<std::vector<std::unique_ptr<DataComponent>>> replicas_;
+  std::vector<std::vector<std::unique_ptr<ReplicationLink>>> links_;
+  /// Monotonic promotion fence per primary slot.
+  std::vector<uint64_t> promotion_epochs_;
+  /// Replica ids are unique across the cluster's lifetime so a rebuilt
+  /// link never aliases a stale ack entry.
+  uint32_t next_replica_id_ = 1;
 };
 
 }  // namespace untx

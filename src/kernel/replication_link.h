@@ -1,0 +1,71 @@
+// ReplicationLink: an in-process redo-log shipper from a primary DC to
+// one replica DC (PR 8). The Cluster runs one link per (primary,
+// replica) pair regardless of transport kind; the socket transport has
+// its own wire-level shipper (net/SocketServer replica sessions) for
+// daemon deployments — this link is the shared-memory equivalent with
+// identical semantics:
+//
+//   loop: read a batch of DURABLE entries past the replica's end from
+//   the primary's DcRedoLog, ApplyReplicated it at the replica, ack the
+//   replica's new end back into the primary's replica-ack map (which
+//   feeds checkpoint clamping and MaxReplicaLag).
+//
+// Only durable entries ship (DcRedoLog::ReadFrom stops at durable_end),
+// so a primary crash never leaves a replica holding a suffix the
+// primary's own recovery cannot reproduce. Transient apply failures
+// (replica Busy/Crashed) back off and retry from the replica's current
+// end — the gap check in ApplyReplicated makes duplicated or re-read
+// batches harmless.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace untx {
+
+class DataComponent;
+
+struct ReplicationLinkOptions {
+  /// Registered in the primary's replica-ack map; unique per link.
+  uint32_t replica_id = 1;
+  /// Entries per shipped batch.
+  uint32_t batch_max = 256;
+  /// How long the shipper parks on WaitDurable when caught up.
+  uint32_t poll_ms = 50;
+  /// Backoff after a transient apply failure at the replica.
+  uint32_t retry_ms = 10;
+};
+
+class ReplicationLink {
+ public:
+  ReplicationLink(DataComponent* primary, DataComponent* replica,
+                  ReplicationLinkOptions options = {});
+  ~ReplicationLink();
+
+  /// Registers the replica with the primary (its current end becomes the
+  /// initial ack, so checkpoint clamping sees the laggard immediately)
+  /// and starts the shipper thread. Idempotent.
+  void Start();
+
+  /// Stops the shipper and unregisters the replica from the primary's
+  /// ack map. Idempotent; called by the destructor.
+  void Stop();
+
+  DataComponent* replica() const { return replica_; }
+  uint32_t replica_id() const { return options_.replica_id; }
+  /// Batches successfully applied at the replica.
+  uint64_t batches_shipped() const { return batches_shipped_.load(); }
+
+ private:
+  void Run();
+
+  DataComponent* primary_;
+  DataComponent* replica_;
+  ReplicationLinkOptions options_;
+  std::atomic<bool> stop_{true};
+  std::atomic<uint64_t> batches_shipped_{0};
+  std::thread thread_;
+};
+
+}  // namespace untx

@@ -1,0 +1,61 @@
+// ReplicaClient: the standby side of redo-log shipping over TCP — the
+// real-network analog of kernel/ReplicationLink. A replica untx_dcd
+// dials its primary's SocketServer, subscribes from its own redo end + 1
+// (kReplicaSubscribe), applies each kReplicaEntries batch through
+// DataComponent::ApplyReplicated, and acks its true log end after every
+// batch (success or failure — the primary's stop-and-wait shipper rewinds
+// to the latest ack). Disconnects self-heal: reconnect with jittered
+// exponential backoff and re-subscribe from wherever the replica's log
+// actually ends, so a batch lost on the wire is simply re-shipped.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "dc/data_component.h"
+
+namespace untx {
+
+struct ReplicaClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Identity at the primary's ack table; unique per standby.
+  uint32_t replica_id = 1;
+  /// Reconnect backoff: doubled per failed dial from min to max, with
+  /// up to 50% random jitter so restarted standbys don't dial in step.
+  int reconnect_backoff_min_ms = 50;
+  int reconnect_backoff_max_ms = 1000;
+};
+
+/// Owns the dial/subscribe/apply/ack thread binding one replica DC to
+/// its primary's socket server.
+class ReplicaClient {
+ public:
+  ReplicaClient(DataComponent* dc, ReplicaClientOptions options);
+  ~ReplicaClient();
+
+  /// Starts the subscriber thread (idempotent).
+  void Start();
+  /// Stops and joins it; safe to call repeatedly. The subscription at
+  /// the primary dies with the TCP session (ForgetReplica there).
+  void Stop();
+
+  bool connected() const { return connected_.load(); }
+  uint64_t batches_applied() const { return batches_applied_.load(); }
+  uint64_t reconnects() const { return reconnects_.load(); }
+
+ private:
+  void Run();
+
+  DataComponent* dc_;
+  ReplicaClientOptions options_;
+  std::atomic<bool> stop_{true};
+  std::atomic<bool> connected_{false};
+  std::atomic<uint64_t> batches_applied_{0};
+  std::atomic<uint64_t> reconnects_{0};
+  std::thread thread_;
+};
+
+}  // namespace untx

@@ -11,6 +11,8 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <mutex>
 #include <set>
 #include <thread>
@@ -45,6 +47,21 @@ struct Session {
   /// when the session drops.
   std::set<TcId> tcs;
   FrameReader reader;  // reactor-thread only
+
+  // -- Replica subscription state (guarded by wmu) ------------------------
+  /// True once a kReplicaSubscribe frame arrived: this session is a
+  /// standby DC draining the redo log, not a TC.
+  bool is_replica = false;
+  uint32_t replica_id = 0;
+  /// Stop-and-wait shipping window: `ship_next` is the first unshipped
+  /// rlsn; a batch is in flight while acked + 1 < ship_next. Every ack
+  /// rewinds/advances ship_next to acked + 1 — correct because at most
+  /// one batch is ever outstanding.
+  uint64_t acked = 0;
+  uint64_t ship_next = 0;
+  std::condition_variable ship_cv;
+  /// Per-session shipping thread; joined by CloseSession / StopAll.
+  std::thread shipper;
 
   /// Appends a frame and drains greedily; leftover bytes wait for
   /// POLLOUT. Returns bytes still buffered after the attempt (0 = all
@@ -81,7 +98,9 @@ struct Session {
 };
 
 struct ServerImpl {
-  DataComponent* dc;
+  /// Atomic: workers and shippers read it per frame; Retarget (failover)
+  /// swaps it while they run.
+  std::atomic<DataComponent*> dc{nullptr};
   SocketServerOptions options;
 
   int listen_fd = -1;
@@ -160,10 +179,17 @@ struct ServerImpl {
       doomed.swap(sessions);
     }
     for (auto& s : doomed) {
-      std::lock_guard<std::mutex> guard(s->wmu);
-      if (s->fd >= 0) ::close(s->fd);
-      s->fd = -1;
-      s->alive = false;
+      std::thread shipper;
+      {
+        std::lock_guard<std::mutex> guard(s->wmu);
+        if (s->fd >= 0) ::close(s->fd);
+        s->fd = -1;
+        s->alive = false;
+        shipper = std::move(s->shipper);
+        s->ship_cv.notify_all();
+      }
+      // Outside wmu: the shipper locks it on its way out.
+      if (shipper.joinable()) shipper.join();
     }
     if (listen_fd >= 0) ::close(listen_fd);
     listen_fd = -1;
@@ -334,6 +360,9 @@ struct ServerImpl {
   void HandleFrame(const std::shared_ptr<Session>& s, MessageKind kind,
                    const std::string& wire_body) {
     Slice body(wire_body);
+    // One consistent backend per frame (Retarget may swap it between
+    // frames during a failover).
+    DataComponent* dc = this->dc.load();
     switch (kind) {
       case MessageKind::kOperationRequest: {
         OperationRequest req;
@@ -391,9 +420,94 @@ struct ServerImpl {
         Reply(s, MessageKind::kControlReply, out);
         return;
       }
+      case MessageKind::kReplicaSubscribe: {
+        ReplicaSubscribeRequest req;
+        if (!ReplicaSubscribeRequest::DecodeFrom(&body, &req)) return;
+        if (dc->redo_log() == nullptr) return;  // no history to ship
+        {
+          std::lock_guard<std::mutex> guard(s->wmu);
+          // One subscription per session; a dead session spawns nothing
+          // (an unjoined thread in a destructing Session would terminate).
+          if (!s->alive || s->is_replica) return;
+          s->is_replica = true;
+          s->replica_id = req.replica_id;
+          s->acked = req.from_rlsn == 0 ? 0 : req.from_rlsn - 1;
+          s->ship_next = s->acked + 1;
+        }
+        dc->redo_log()->set_replication_enabled(true);
+        dc->redo_log()->RecordReplicaAck(req.replica_id,
+                                         req.from_rlsn == 0
+                                             ? 0
+                                             : req.from_rlsn - 1);
+        {
+          std::lock_guard<std::mutex> guard(s->wmu);
+          if (!s->alive) return;
+          s->shipper = std::thread([this, s] { ShipLoop(s); });
+        }
+        return;
+      }
+      case MessageKind::kReplicaAck: {
+        ReplicaAckMessage msg;
+        if (!ReplicaAckMessage::DecodeFrom(&body, &msg)) return;
+        uint32_t replica_id = 0;
+        {
+          std::lock_guard<std::mutex> guard(s->wmu);
+          if (!s->is_replica) return;
+          replica_id = s->replica_id;
+          s->acked = msg.acked_rlsn;
+          // Stop-and-wait: at most one batch is in flight, so the
+          // replica's latest ack is always the right resume point — a
+          // rejected batch rewinds, an applied one advances.
+          s->ship_next = msg.acked_rlsn + 1;
+          s->ship_cv.notify_all();
+        }
+        if (dc->redo_log() != nullptr) {
+          dc->redo_log()->RecordReplicaAck(replica_id, msg.acked_rlsn);
+        }
+        return;
+      }
       default:
         // Reply kinds arriving at the server: a confused peer. Ignore.
         return;
+    }
+  }
+
+  /// Per-replica-session shipping loop: drain the primary's durable redo
+  /// suffix toward the subscribed standby, one batch in flight at a time
+  /// (the ack handler opens the window). Exits when the session dies or
+  /// the server stops.
+  void ShipLoop(const std::shared_ptr<Session>& s) {
+    while (true) {
+      uint64_t from = 0;
+      {
+        std::unique_lock<std::mutex> lk(s->wmu);
+        s->ship_cv.wait_for(lk, std::chrono::milliseconds(50), [&] {
+          return !s->alive || stop.load() || s->acked + 1 >= s->ship_next;
+        });
+        if (!s->alive || stop.load()) return;
+        if (s->acked + 1 < s->ship_next) continue;  // batch still in flight
+        from = s->ship_next;
+      }
+      DcRedoLog* log = dc.load()->redo_log();
+      if (log == nullptr) return;
+      ReplicaEntriesMessage msg;
+      // Only durable entries ship: a standby must never apply an op the
+      // primary could forget in a crash.
+      uint64_t first = log->ReadFrom(from, 256, &msg.entries);
+      if (first == 0 || msg.entries.empty()) {
+        log->WaitDurable(from - 1, 50);
+        continue;
+      }
+      msg.from_rlsn = first;
+      msg.primary_end = log->end();
+      std::string out;
+      msg.EncodeTo(&out);
+      {
+        std::lock_guard<std::mutex> lk(s->wmu);
+        if (!s->alive) return;
+        s->ship_next = first + msg.entries.size();
+      }
+      Reply(s, MessageKind::kReplicaEntries, out);
     }
   }
 
@@ -412,6 +526,9 @@ struct ServerImpl {
   /// a reconnect race — the check keeps that case safe).
   void CloseSession(const std::shared_ptr<Session>& s) {
     std::set<TcId> served;
+    std::thread shipper;
+    bool was_replica = false;
+    uint32_t replica_id = 0;
     {
       std::lock_guard<std::mutex> guard(s->wmu);
       if (!s->alive) return;
@@ -419,7 +536,14 @@ struct ServerImpl {
       if (s->fd >= 0) ::close(s->fd);
       s->fd = -1;
       served = s->tcs;
+      was_replica = s->is_replica;
+      replica_id = s->replica_id;
+      shipper = std::move(s->shipper);
+      s->ship_cv.notify_all();
     }
+    // Outside wmu: the shipper locks it on its way out. Its waits are
+    // bounded (50ms cv / WaitDurable timeouts), so this join is too.
+    if (shipper.joinable()) shipper.join();
     {
       std::lock_guard<std::mutex> guard(sessions_mu);
       sessions.erase(std::remove(sessions.begin(), sessions.end(), s),
@@ -429,7 +553,13 @@ struct ServerImpl {
         for (TcId tc : other->tcs) served.erase(tc);
       }
     }
-    for (TcId tc : served) dc->OnTcDisconnect(tc);
+    DataComponent* d = dc.load();
+    for (TcId tc : served) d->OnTcDisconnect(tc);
+    // A dropped standby stops holding back the TCs' checkpoint clamp; it
+    // re-registers (with its true position) when it re-subscribes.
+    if (was_replica && d->redo_log() != nullptr) {
+      d->redo_log()->ForgetReplica(replica_id);
+    }
   }
 };
 
@@ -447,11 +577,23 @@ Status SocketServer::Start() { return impl_->StartAll(); }
 
 void SocketServer::Stop() { impl_->StopAll(); }
 
+void SocketServer::Retarget(DataComponent* dc) { impl_->dc.store(dc); }
+
 uint16_t SocketServer::port() const { return impl_->port; }
 
 size_t SocketServer::session_count() const {
   std::lock_guard<std::mutex> guard(impl_->sessions_mu);
   return impl_->sessions.size();
+}
+
+size_t SocketServer::replica_session_count() const {
+  std::lock_guard<std::mutex> guard(impl_->sessions_mu);
+  size_t n = 0;
+  for (const auto& s : impl_->sessions) {
+    std::lock_guard<std::mutex> wguard(s->wmu);
+    if (s->is_replica) ++n;
+  }
+  return n;
 }
 
 uint64_t SocketServer::sessions_accepted() const {

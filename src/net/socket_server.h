@@ -46,12 +46,19 @@ class SocketServer {
   Status Start();
   void Stop();
 
+  /// Swaps the backend DC — hot-standby failover: the listener, sessions
+  /// and worker pool survive; requests dispatch into the promoted DC.
+  /// Atomic; each frame is served by one consistent backend.
+  void Retarget(DataComponent* dc);
+
   /// The bound port (the chosen one when options.port was 0). Valid
   /// after a successful Start().
   uint16_t port() const;
 
   /// Live TC sessions (for tests: drops should shrink this).
   size_t session_count() const;
+  /// Live sessions that subscribed as redo-shipping replicas.
+  size_t replica_session_count() const;
   /// Sessions accepted over the server's lifetime.
   uint64_t sessions_accepted() const;
   /// Frames that failed to decode (corrupt stream → session closed).

@@ -53,14 +53,19 @@ class SocketConnection {
     kConnected = 2,
   };
 
-  SocketConnection(SocketEndpoint endpoint,
+  SocketConnection(std::vector<SocketEndpoint> endpoints,
                    const SocketTransportOptions& options,
                    std::weak_ptr<SocketReactor> reactor)
-      : endpoint_(std::move(endpoint)),
+      : endpoints_(std::move(endpoints)),
         backoff_min_ms_(options.reconnect_backoff_min_ms),
         backoff_max_ms_(options.reconnect_backoff_max_ms),
+        jitter_(options.reconnect_backoff_jitter),
         reactor_(std::move(reactor)),
-        backoff_ms_(options.reconnect_backoff_min_ms) {}
+        backoff_ms_(options.reconnect_backoff_min_ms),
+        jitter_state_(0x9e3779b97f4a7c15ull ^
+                      (endpoints_.empty() ? 0u : endpoints_.front().port)) {
+    if (endpoints_.empty()) endpoints_.push_back(SocketEndpoint{});
+  }
 
   using FrameHandler = std::function<void(uint8_t, const std::string&)>;
 
@@ -97,9 +102,32 @@ class SocketConnection {
   void MarkConnectedLocked();  // send_mu_ held (reactor thread)
   void CloseLocked();          // send_mu_ held (reactor thread)
 
-  const SocketEndpoint endpoint_;
+  /// Arms the next dial after a failure (send_mu_ held): jittered
+  /// current backoff, rotation to the next alternate endpoint, and —
+  /// once a full rotation has failed — exponential growth to the cap.
+  void ArmRedialLocked() {
+    // xorshift64: cheap per-connection jitter, no global RNG contention.
+    jitter_state_ ^= jitter_state_ << 13;
+    jitter_state_ ^= jitter_state_ >> 7;
+    jitter_state_ ^= jitter_state_ << 17;
+    const uint32_t spread =
+        jitter_ > 0 ? static_cast<uint32_t>(backoff_ms_ * jitter_) : 0;
+    const uint32_t delay =
+        backoff_ms_ + (spread > 0 ? jitter_state_ % (spread + 1) : 0);
+    next_attempt_ = Clock::now() + std::chrono::milliseconds(delay);
+    if (endpoints_.size() > 1) {
+      active_ = (active_ + 1) % endpoints_.size();
+      if (active_ != 0) return;  // try the whole ring at this backoff
+    }
+    backoff_ms_ = std::min(backoff_ms_ * 2, backoff_max_ms_);
+  }
+
+  std::vector<SocketEndpoint> endpoints_;
+  /// Which alternate the next dial targets (reactor thread only).
+  size_t active_ = 0;
   const uint32_t backoff_min_ms_;
   const uint32_t backoff_max_ms_;
+  const double jitter_;
   const std::weak_ptr<SocketReactor> reactor_;  // woken on buffered sends
 
   std::mutex send_mu_;
@@ -112,6 +140,7 @@ class SocketConnection {
   // Reactor-thread-only reconnect bookkeeping.
   Clock::time_point next_attempt_{};
   uint32_t backoff_ms_;
+  uint64_t jitter_state_;
   FrameReader reader_;
   bool stopped_ = false;
 
@@ -386,9 +415,14 @@ void SocketReactor::HandleStops() {
 
 void SocketReactor::StartConnect(SocketConnection* c) {
   sockaddr_in addr;
-  if (!ResolveV4(c->endpoint_.host, c->endpoint_.port, &addr)) {
+  const SocketEndpoint& target = c->endpoints_[c->active_];
+  if (!ResolveV4(target.host, target.port, &addr)) {
     std::lock_guard<std::mutex> guard(c->send_mu_);
-    c->next_attempt_ = Clock::now() + std::chrono::hours(24);  // hopeless
+    if (c->endpoints_.size() > 1) {
+      c->ArmRedialLocked();  // a bad alternate just rotates past
+    } else {
+      c->next_attempt_ = Clock::now() + std::chrono::hours(24);  // hopeless
+    }
     return;
   }
   const int fd = socket(AF_INET, SOCK_STREAM, 0);
@@ -413,9 +447,7 @@ void SocketReactor::StartConnect(SocketConnection* c) {
     c->state_ = SocketConnection::State::kConnecting;
   } else {
     c->CloseLocked();
-    c->next_attempt_ =
-        Clock::now() + std::chrono::milliseconds(c->backoff_ms_);
-    c->backoff_ms_ = std::min(c->backoff_ms_ * 2, c->backoff_max_ms_);
+    c->ArmRedialLocked();
   }
 }
 
@@ -426,9 +458,7 @@ void SocketReactor::FinishConnect(SocketConnection* c) {
   socklen_t len = sizeof(err);
   if (getsockopt(c->fd_, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
     c->CloseLocked();
-    c->next_attempt_ =
-        Clock::now() + std::chrono::milliseconds(c->backoff_ms_);
-    c->backoff_ms_ = std::min(c->backoff_ms_ * 2, c->backoff_max_ms_);
+    c->ArmRedialLocked();
     return;
   }
   c->MarkConnectedLocked();
@@ -437,8 +467,7 @@ void SocketReactor::FinishConnect(SocketConnection* c) {
 void SocketReactor::Disconnect(SocketConnection* c) {
   std::lock_guard<std::mutex> guard(c->send_mu_);
   c->CloseLocked();
-  c->next_attempt_ = Clock::now() + std::chrono::milliseconds(c->backoff_ms_);
-  c->backoff_ms_ = std::min(c->backoff_ms_ * 2, c->backoff_max_ms_);
+  c->ArmRedialLocked();
 }
 
 void SocketReactor::ReadReady(const std::shared_ptr<SocketConnection>& c) {
@@ -684,7 +713,8 @@ bool SocketBoundTransport::WaitConnected(uint32_t timeout_ms) const {
 // ---- SocketTransportFactory --------------------------------------------------
 
 SocketTransportFactory::SocketTransportFactory(
-    std::map<DcId, SocketEndpoint> targets, SocketTransportOptions options)
+    std::map<DcId, std::vector<SocketEndpoint>> targets,
+    SocketTransportOptions options)
     : targets_(std::move(targets)),
       options_(options),
       reactor_(std::make_shared<internal::SocketReactor>()) {}
@@ -694,16 +724,24 @@ SocketTransportFactory::~SocketTransportFactory() { reactor_->Stop(); }
 std::unique_ptr<BoundTransport> SocketTransportFactory::Bind(
     TcId /*tc*/, DcId dc, DataComponent* /*target*/) {
   auto it = targets_.find(dc);
-  SocketEndpoint endpoint = it == targets_.end() ? SocketEndpoint{}
-                                                 : it->second;
+  std::vector<SocketEndpoint> endpoints =
+      it == targets_.end() ? std::vector<SocketEndpoint>{} : it->second;
   auto conn = std::make_shared<internal::SocketConnection>(
-      endpoint, options_,
+      std::move(endpoints), options_,
       std::weak_ptr<internal::SocketReactor>(reactor_));
   return std::make_unique<SocketBoundTransport>(reactor_, conn, options_);
 }
 
 std::shared_ptr<TransportFactory> MakeSocketTransportFactory(
     std::map<DcId, SocketEndpoint> targets, SocketTransportOptions options) {
+  std::map<DcId, std::vector<SocketEndpoint>> multi;
+  for (auto& [dc, endpoint] : targets) multi[dc] = {endpoint};
+  return std::make_shared<SocketTransportFactory>(std::move(multi), options);
+}
+
+std::shared_ptr<TransportFactory> MakeSocketTransportFactory(
+    std::map<DcId, std::vector<SocketEndpoint>> targets,
+    SocketTransportOptions options) {
   return std::make_shared<SocketTransportFactory>(std::move(targets),
                                                   options);
 }

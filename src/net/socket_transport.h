@@ -18,6 +18,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "kernel/cluster.h"
 #include "kernel/op_coalescer.h"
@@ -35,10 +36,14 @@ struct SocketTransportOptions {
   /// How long Start() blocks for the initial dial before handing the
   /// connection to the background redial loop.
   uint32_t connect_timeout_ms = 2000;
-  /// Redial backoff: doubles from min to max on consecutive failures,
-  /// resets on success.
+  /// Redial backoff: doubles from min to the (configurable) max cap on
+  /// consecutive failures, resets on success.
   uint32_t reconnect_backoff_min_ms = 20;
   uint32_t reconnect_backoff_max_ms = 1000;
+  /// Random spread added on top of each backoff delay, as a fraction of
+  /// it (0.25 → up to +25%). Keeps a fleet of TCs redialing a restarted
+  /// DC from arriving in lockstep. 0 disables.
+  double reconnect_backoff_jitter = 0.25;
   /// Client-side kOperationBatch coalescing (shared with channels).
   CoalesceOptions coalesce;
 };
@@ -125,10 +130,13 @@ class SocketBoundTransport : public BoundTransport {
 };
 
 /// Produces socket bindings to a fixed DC endpoint map. All bindings of
-/// one factory share its reactor thread.
+/// one factory share its reactor thread. A DC may list ALTERNATE
+/// endpoints (primary first, standbys after): a failed dial rotates to
+/// the next alternate, so after a hot-standby promotion the redial loop
+/// lands on the new primary by itself.
 class SocketTransportFactory : public TransportFactory {
  public:
-  SocketTransportFactory(std::map<DcId, SocketEndpoint> targets,
+  SocketTransportFactory(std::map<DcId, std::vector<SocketEndpoint>> targets,
                          SocketTransportOptions options);
   ~SocketTransportFactory() override;
 
@@ -138,13 +146,18 @@ class SocketTransportFactory : public TransportFactory {
                                        DataComponent* target) override;
 
  private:
-  std::map<DcId, SocketEndpoint> targets_;
+  std::map<DcId, std::vector<SocketEndpoint>> targets_;
   SocketTransportOptions options_;
   std::shared_ptr<internal::SocketReactor> reactor_;
 };
 
 std::shared_ptr<TransportFactory> MakeSocketTransportFactory(
     std::map<DcId, SocketEndpoint> targets,
+    SocketTransportOptions options = {});
+
+/// Alternate-aware variant: each DC's vector is tried in rotation.
+std::shared_ptr<TransportFactory> MakeSocketTransportFactory(
+    std::map<DcId, std::vector<SocketEndpoint>> targets,
     SocketTransportOptions options = {});
 
 }  // namespace untx

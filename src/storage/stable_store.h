@@ -30,12 +30,20 @@ struct StableStoreOptions {
   /// Probability that a Write fails with IOError (fault injection).
   double write_fail_prob = 0.0;
   uint64_t fault_seed = 42;
+  /// Non-empty: back the store with this file so pages survive the
+  /// PROCESS dying (untx_dcd --recover), not just the simulated DC
+  /// crash. Page `pid` lives at byte offset (pid-1)*page_size; writes
+  /// go through to the kernel immediately (pwrite), matching the
+  /// write-through durability contract above. A slot whose CRC does not
+  /// verify on load (never written, freed, or torn) is free space.
+  std::string path;
 };
 
 /// Thread-safe simulated page store.
 class StableStore {
  public:
   explicit StableStore(StableStoreOptions options = {});
+  ~StableStore();
 
   uint32_t page_size() const { return options_.page_size; }
   uint32_t trailer_capacity() const { return options_.trailer_capacity; }
@@ -58,6 +66,11 @@ class StableStore {
   /// Corrupts a stored page (flips a byte) — for CRC-detection tests.
   void CorruptForTest(PageId pid, uint32_t byte_offset);
 
+  /// Wipes the store back to empty (pages, allocator, backing file).
+  /// Used when a replica rebuilds itself from a cancel-filtered replay
+  /// of the primary's redo stream: its own page set may have diverged.
+  void Reset();
+
   // Stats.
   uint64_t reads() const { return reads_; }
   uint64_t writes() const { return writes_; }
@@ -67,7 +80,13 @@ class StableStore {
   size_t LivePageCount() const;
 
  private:
+  /// Loads every CRC-valid slot of the backing file. Constructor only.
+  void LoadFile();
+  /// Writes `data` (page_size bytes) at pid's slot. Caller holds mu_.
+  void PersistPageLocked(PageId pid, const char* data);
+
   StableStoreOptions options_;
+  int fd_ = -1;
   mutable std::mutex mu_;
   std::unordered_map<PageId, std::string> pages_;
   std::vector<PageId> free_list_;

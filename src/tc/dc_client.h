@@ -7,6 +7,7 @@
 //     threads, cloud style.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <utility>
 #include <vector>
@@ -75,29 +76,33 @@ class DirectDcClient : public DcClient {
  public:
   explicit DirectDcClient(DcService* dc) : dc_(dc) {}
 
+  /// Swaps the backend (hot-standby failover): subsequent sends hit the
+  /// promoted DC. Atomic — resend daemons may be mid-send.
+  void set_target(DcService* dc) { dc_.store(dc); }
+
   void SendOperation(const OperationRequest& req) override {
-    OperationReply reply = dc_->Perform(req);
+    OperationReply reply = dc_.load()->Perform(req);
     // A crashed DC produced no reply; the resend daemon will retry.
     if (!reply.status.IsCrashed() && op_handler_) op_handler_(reply);
   }
 
   void SendOperationBatch(
       const std::vector<OperationRequest>& reqs) override {
-    std::vector<OperationReply> replies = dc_->PerformBatch(reqs);
+    std::vector<OperationReply> replies = dc_.load()->PerformBatch(reqs);
     for (const auto& reply : replies) {
       if (!reply.status.IsCrashed() && op_handler_) op_handler_(reply);
     }
   }
 
   void SendControl(const ControlRequest& req) override {
-    ControlReply reply = dc_->Control(req);
+    ControlReply reply = dc_.load()->Control(req);
     if (!reply.status.IsCrashed() && control_handler_) {
       control_handler_(reply);
     }
   }
 
   void SendScanStream(const ScanStreamRequest& req) override {
-    dc_->PerformScanStream(req, [this](const ScanStreamChunk& chunk) {
+    dc_.load()->PerformScanStream(req, [this](const ScanStreamChunk& chunk) {
       // A crashed DC produces no chunks; the TC's restart loop retries.
       if (!chunk.status.IsCrashed() && scan_chunk_handler_) {
         scan_chunk_handler_(chunk);
@@ -108,7 +113,7 @@ class DirectDcClient : public DcClient {
   void SendScanCredit(const ScanCreditRequest& req) override {
     // Inline resume: the paused cursor produces its next chunks on the
     // calling thread, straight into the chunk handler.
-    dc_->ScanCredit(req, [this](const ScanStreamChunk& chunk) {
+    dc_.load()->ScanCredit(req, [this](const ScanStreamChunk& chunk) {
       if (!chunk.status.IsCrashed() && scan_chunk_handler_) {
         scan_chunk_handler_(chunk);
       }
@@ -116,7 +121,7 @@ class DirectDcClient : public DcClient {
   }
 
  private:
-  DcService* dc_;
+  std::atomic<DcService*> dc_;
 };
 
 }  // namespace untx

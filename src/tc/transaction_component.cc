@@ -139,6 +139,21 @@ void TransactionComponent::OnOperationReply(const OperationReply& reply) {
     op = it->second;
     op->completed = true;
     op->reply = reply;
+    // The DC durably appended this op to its redo log at `rlsn`: record
+    // it so a failover/local-recovery resend can skip every op the
+    // revived DC's log already holds (the suffix-only resend). Duplicate
+    // replies answered from the DC's idempotence carry rlsn 0 and must
+    // ERASE any prior record, not just leave none: a record taken before
+    // a DC crash can name a volatile log position the revived DC reused
+    // for a different op, and skipping on it would lose this op at the
+    // next promoted standby. Erasure keeps the op conservatively
+    // resendable (a redundant resend is absorbed as an abLSN duplicate).
+    if (reply.rlsn != 0) {
+      acked_rlsns_[op->dc][reply.lsn] = reply.rlsn;
+    } else {
+      auto acked_it = acked_rlsns_.find(op->dc);
+      if (acked_it != acked_rlsns_.end()) acked_it->second.erase(reply.lsn);
+    }
     outstanding_.erase(it);
     // Release the per-key conflict gate for pipelined successors.
     auto key_it = inflight_keys_.find(
@@ -1710,6 +1725,11 @@ Status TransactionComponent::TakeCheckpoint() {
   log_.Force();
   const Lsn candidate = log_.sealed_prefix_end();
   PushControls();
+  // A replicating DC may GRANT less than asked: it clamps below the
+  // oldest op its slowest standby has not acked, so our log keeps what a
+  // failover would need to resend. The RSSP advances only to the
+  // smallest grant across DCs.
+  Lsn granted_min = candidate;
   for (const auto& binding : dcs_) {
     ControlRequest req;
     req.type = ControlType::kCheckpoint;
@@ -1718,14 +1738,17 @@ Status TransactionComponent::TakeCheckpoint() {
     StatusOr<ControlReply> reply = ControlAwait(binding.id, req, 60000);
     if (!reply.ok()) return reply.status();
     if (!reply->status.ok()) return reply->status;
+    if (reply->rlsn != 0 && static_cast<Lsn>(reply->rlsn) < granted_min) {
+      granted_min = static_cast<Lsn>(reply->rlsn);
+    }
   }
   {
     std::lock_guard<std::mutex> guard(rssp_mu_);
-    if (candidate > rssp_) rssp_ = candidate;
+    if (granted_min > rssp_) rssp_ = granted_min;
   }
   TcLogRecord rec;
   rec.type = TcLogRecordType::kCheckpoint;
-  rec.rssp = candidate;
+  rec.rssp = granted_min;
   std::string payload;
   rec.EncodeTo(&payload);
   const uint64_t index = log_.Append(std::move(payload));
@@ -1733,7 +1756,7 @@ Status TransactionComponent::TakeCheckpoint() {
 
   // Contract termination (§4.2): the log below min(RSSP, oldest active
   // txn begin) is no longer needed for redo or undo.
-  Lsn oldest_active = candidate;
+  Lsn oldest_active = granted_min;
   {
     std::lock_guard<std::mutex> guard(txn_mu_);
     for (const auto& [id, state] : txns_) {
@@ -1742,8 +1765,16 @@ Status TransactionComponent::TakeCheckpoint() {
       }
     }
   }
-  const Lsn keep_from = std::min(candidate, oldest_active);
+  const Lsn keep_from = std::min(granted_min, oldest_active);
   if (keep_from > 1) log_.TruncatePrefix(keep_from - 1);
+  {
+    // Acked-rlsn records below the truncation point can never be resent
+    // again; drop them with the log they describe.
+    std::lock_guard<std::mutex> guard(out_mu_);
+    for (auto& [dc, acked] : acked_rlsns_) {
+      acked.erase(acked.begin(), acked.lower_bound(keep_from));
+    }
+  }
   stats_.checkpoints.fetch_add(1);
   return Status::OK();
 }
@@ -1760,6 +1791,8 @@ void TransactionComponent::Crash() {
     orphans.swap(outstanding_);
     inflight_keys_.clear();
     window_counts_.clear();
+    // Acked-rlsn records are volatile: a restarted TC full-resends.
+    acked_rlsns_.clear();
     // The DC-recovering gates are volatile state too: Restart() performs
     // the full redo-resend itself, and a surviving gate would hold every
     // post-restart streamed scan forever.
@@ -1857,7 +1890,17 @@ Status TransactionComponent::Analyze(AnalysisResult* out) {
 }
 
 Status TransactionComponent::RedoResend(Lsn from_lsn, DcId only_dc,
-                                        bool all_dcs) {
+                                        bool all_dcs,
+                                        uint64_t dc_redo_end) {
+  // Snapshot the acked-rlsn records for the target DC: ops the revived
+  // DC's redo log already holds (recorded rlsn <= its surviving end) are
+  // skipped below — the suffix-only resend.
+  std::map<Lsn, uint64_t> acked;
+  if (dc_redo_end != 0 && !all_dcs) {
+    std::lock_guard<std::mutex> guard(out_mu_);
+    auto it = acked_rlsns_.find(only_dc);
+    if (it != acked_rlsns_.end()) acked = it->second;
+  }
   const uint64_t begin =
       std::max<uint64_t>(from_lsn == 0 ? 0 : from_lsn - 1,
                          log_.truncated_prefix());
@@ -1894,6 +1937,13 @@ Status TransactionComponent::RedoResend(Lsn from_lsn, DcId only_dc,
     }
     const DcId dc = Route(rec.table_id, rec.key);
     if (!all_dcs && dc != only_dc) continue;
+    if (dc_redo_end != 0 && !all_dcs) {
+      auto ack_it = acked.find(static_cast<Lsn>(i + 1));
+      if (ack_it != acked.end() && ack_it->second <= dc_redo_end) {
+        stats_.suffix_skipped_ops.fetch_add(1);
+        continue;
+      }
+    }
     per_dc[dc].push_back(i);
   }
 
@@ -2125,7 +2175,21 @@ Status TransactionComponent::OnDcRestart(DcId dc) {
     dc_recovering_[dc] = true;
   }
   PushControls();
-  Status s = RedoResend(rssp(), dc, /*all_dcs=*/false);
+  // Ask the revived DC whether it recovered (or was promoted) with a
+  // redo-log prefix intact: if so, only ops past that prefix — the
+  // unacknowledged in-flight suffix — need resending. rlsn 0 (no log,
+  // or state not known to reflect it) degrades to the full resend.
+  uint64_t dc_redo_end = 0;
+  {
+    ControlRequest req;
+    req.type = ControlType::kQueryReplication;
+    req.tc_id = options_.tc_id;
+    StatusOr<ControlReply> qr = ControlAwait(dc, req, 10000);
+    if (qr.ok() && qr->status.ok() && qr->replication_enabled) {
+      dc_redo_end = qr->rlsn;
+    }
+  }
+  Status s = RedoResend(rssp(), dc, /*all_dcs=*/false, dc_redo_end);
   {
     std::lock_guard<std::mutex> guard(out_mu_);
     dc_recovering_[dc] = false;

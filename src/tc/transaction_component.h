@@ -144,6 +144,10 @@ struct TcStats {
   std::atomic<uint64_t> recovery_resent_ops{0};
   /// Wire messages that carried them — with batching, msgs << ops.
   std::atomic<uint64_t> recovery_resend_msgs{0};
+  /// Redo operations NOT resent because the revived DC (a promoted
+  /// standby or a locally-recovered primary) already held their redo-log
+  /// entry — the suffix-only resend of PR 8.
+  std::atomic<uint64_t> suffix_skipped_ops{0};
   /// Streamed scans opened (one request message each per attempt).
   std::atomic<uint64_t> scan_streams{0};
   /// In-order chunks consumed and rows they delivered.
@@ -488,7 +492,12 @@ class TransactionComponent {
   };
   Status Analyze(AnalysisResult* out);
 
-  Status RedoResend(Lsn from_lsn, DcId only_dc, bool all_dcs);
+  /// dc_redo_end != 0 (single-DC resends only): skip ops whose
+  /// DC-acknowledged redo-log position (OperationReply::rlsn, recorded in
+  /// acked_rlsns_) is <= dc_redo_end — the revived DC already holds and
+  /// replayed/applied them, so only the in-flight suffix travels.
+  Status RedoResend(Lsn from_lsn, DcId only_dc, bool all_dcs,
+                    uint64_t dc_redo_end = 0);
 
   TcOptions options_;
   std::vector<DcBinding> dcs_;
@@ -506,6 +515,11 @@ class TransactionComponent {
 
   std::mutex out_mu_;
   std::map<Lsn, std::shared_ptr<OutstandingOp>> outstanding_;
+  /// Per DC: op lsn -> the redo-log rlsn the DC acked it at
+  /// (OperationReply::rlsn). Volatile (cleared by Crash — a restarted TC
+  /// conservatively full-resends); pruned at checkpoints alongside the
+  /// log. Guarded by out_mu_.
+  std::map<DcId, std::map<Lsn, uint64_t>> acked_rlsns_;
   std::map<DcId, bool> dc_recovering_;
   /// Signaled whenever a DC-recovering gate opens (redo finished, crash,
   /// restart): WaitDcReady blocks on this instead of sleep-polling.

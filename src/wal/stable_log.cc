@@ -222,6 +222,17 @@ void StableLog::Crash() {
   records_.resize(stable_end_ - base_);
 }
 
+void StableLog::Clear() {
+  std::lock_guard<std::mutex> guard(mu_);
+  records_.clear();
+  base_ = 0;
+  stable_end_ = 0;
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = std::fopen(options_.path.c_str(), "wb");
+  }
+}
+
 void StableLog::TruncatePrefix(uint64_t index) {
   std::lock_guard<std::mutex> guard(mu_);
   if (index <= base_) return;

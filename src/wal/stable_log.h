@@ -79,6 +79,11 @@ class StableLog {
   /// Drops the volatile tail (sealed or not). This is the component crash.
   void Crash();
 
+  /// Wipes the log back to empty — records, indices, and the backing
+  /// file. Unlike Crash(), stable records are discarded too. Used when
+  /// the owning component rebuilds itself from scratch (replica reset).
+  void Clear();
+
   /// Logically discards records before `index` (checkpoint truncation).
   /// Indices of surviving records are unchanged.
   void TruncatePrefix(uint64_t index);

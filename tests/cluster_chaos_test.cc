@@ -56,6 +56,9 @@ struct ChaosConfig {
   double dup;
   uint32_t delay_us;
   int length;
+  /// Hot standbys per DC; > 0 arms the failover drill in the DC-crash
+  /// fault arm (promote a standby instead of recovering the primary).
+  int replicas = 0;
 };
 
 class ClusterChaosTest : public ::testing::TestWithParam<ChaosConfig> {};
@@ -67,6 +70,7 @@ std::unique_ptr<Cluster> OpenChaosCluster(const ChaosConfig& config) {
   options.store.page_size = 1024;
   options.store.trailer_capacity = 128;
   options.dc.max_value_size = 200;
+  options.replicas_per_dc = config.replicas;
   options.channel.request_channel.drop_prob = config.drop;
   options.channel.request_channel.dup_prob = config.dup;
   options.channel.request_channel.max_delay_us = config.delay_us;
@@ -243,7 +247,9 @@ TEST_P(ClusterChaosTest, MatchesMonolithicReplay) {
             << s.ToString();
       } else {
         ASSERT_TRUE(s.ok()) << "step " << step << ": lost " << key << ": "
-                            << s.ToString();
+                            << s.ToString() << "\n  table " << table
+                            << "\n  hist: " << history[{table, key}]
+                            << "\n  faults: " << history[{0, "faults"}];
         ASSERT_EQ(value, it->second)
             << "step " << step << " table " << table << " key " << key
             << "\n  hist: " << history[{table, key}]
@@ -291,11 +297,27 @@ TEST_P(ClusterChaosTest, MatchesMonolithicReplay) {
             << "scan divergence at step " << step << "\n" << diag;
       }
     } else if (r < 0.90) {
-      // DC crash + recovery: every TC redo-resends to the revived DC.
       const int d = static_cast<int>(rng.Uniform(2));
-      note(0, "faults", std::to_string(step) + ":dc" + std::to_string(d));
-      cluster->CrashDc(d);
-      ASSERT_TRUE(cluster->RecoverDc(d).ok()) << "step " << step;
+      if (cluster->num_replicas(d) > 0 && rng.Bernoulli(0.5)) {
+        // Failover drill: kill the primary, promote a standby, then
+        // revive every parked replica (the ex-primary included) so the
+        // standby pool never dwindles.
+        note(0, "faults", std::to_string(step) + ":fo" + std::to_string(d));
+        cluster->CrashDc(d);
+        Status fs = cluster->FailoverDc(d);
+        ASSERT_TRUE(fs.ok()) << "step " << step << ": " << fs.ToString();
+        for (int rr = 0; rr < cluster->num_replicas(d); ++rr) {
+          if (!cluster->replica(d, rr)->crashed()) continue;
+          Status js = cluster->RejoinReplica(d, rr);
+          ASSERT_TRUE(js.ok()) << "step " << step << " replica " << rr << ": "
+                               << js.ToString();
+        }
+      } else {
+        // DC crash + recovery: every TC redo-resends to the revived DC.
+        note(0, "faults", std::to_string(step) + ":dc" + std::to_string(d));
+        cluster->CrashDc(d);
+        ASSERT_TRUE(cluster->RecoverDc(d).ok()) << "step " << step;
+      }
     } else if (r < 0.94) {
       // TC crash + restart (runs the §6.1.2 escalation when shared
       // pages were reset).
@@ -408,7 +430,10 @@ INSTANTIATE_TEST_SUITE_P(
         ChaosConfig{22, 0.02, 0.0, 200, 220},
         ChaosConfig{33, 0.0, 0.04, 200, 220},
         ChaosConfig{44, 0.03, 0.03, 500, 220},
-        ChaosConfig{55, 0.05, 0.03, 600, 160}),
+        ChaosConfig{55, 0.05, 0.03, 600, 160},
+        // Failover soak: one hot standby per DC; the DC-crash arm
+        // flips between promote-a-standby and recover-the-primary.
+        ChaosConfig{66, 0.02, 0.02, 300, 200, 1}),
     ChaosName);
 
 }  // namespace

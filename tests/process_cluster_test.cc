@@ -20,7 +20,9 @@
 #include <gtest/gtest.h>
 
 #include <fcntl.h>
+#include <netinet/in.h>
 #include <signal.h>
+#include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -162,6 +164,147 @@ std::map<std::pair<TableId, std::string>, std::string> ParseDump(
 using Key = std::pair<TableId, std::string>;
 constexpr const char* kAbsent = "<absent>";
 
+/// Binds an ephemeral port, reads it back, releases it. The winner uses
+/// SO_REUSEADDR, so the brief gap is benign in practice; tests need a
+/// concrete port up front when the listener (a standby) opens it later.
+int PickFreePort() {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  int port = 0;
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    socklen_t len = sizeof(addr);
+    if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+      port = ntohs(addr.sin_port);
+    }
+  }
+  close(fd);
+  return port;
+}
+
+/// The shared epilogue: journals → per-key acceptable values, diff the
+/// dumps against them, then re-execute the confirmed transactions on a
+/// monolithic single-process cluster and demand an EXACT state match.
+void VerifyAgainstJournals(const std::string& dir,
+                           uint64_t min_committed_per_tc,
+                           uint64_t min_committed_total) {
+  std::vector<JTxn> txns;
+  uint64_t total_committed = 0;
+  std::map<Key, std::set<std::string>> acceptable;
+  std::map<Key, std::string> dump;
+  for (int id : {1, 2}) {
+    std::vector<JTxn> j =
+        ParseJournal(dir + "/tc" + std::to_string(id) + ".journal");
+    uint64_t committed = 0;
+    for (const JTxn& txn : j) {
+      if (txn.outcome == 'A') continue;
+      if (txn.outcome == 'C') ++committed;
+      for (const JOp& op : txn.ops) {
+        const Key k{op.table, op.key};
+        const std::string v = op.is_delete ? kAbsent : op.value;
+        if (txn.outcome == 'C') {
+          acceptable[k] = {v};
+        } else {
+          // In doubt: either it applied or it didn't.
+          auto [it, inserted] = acceptable.try_emplace(k);
+          if (inserted) it->second.insert(kAbsent);
+          it->second.insert(v);
+        }
+      }
+      txns.push_back(txn);
+    }
+    // Each TC must have made real progress through the chaos.
+    EXPECT_GE(committed, min_committed_per_tc) << "tc" << id;
+    total_committed += committed;
+    bool complete = false;
+    auto d = ParseDump(dir + "/tc" + std::to_string(id) + ".dump", &complete);
+    ASSERT_TRUE(complete) << "truncated dump for tc" << id;
+    for (auto& [k, v] : d) dump.emplace(k, v);
+  }
+
+  for (const auto& [k, vals] : acceptable) {
+    auto it = dump.find(k);
+    const std::string got = it == dump.end() ? kAbsent : it->second;
+    EXPECT_TRUE(vals.count(got))
+        << "table " << k.first << " key " << k.second << ": cluster has '"
+        << got << "', journal allows only {"
+        << [&] {
+             std::string s;
+             for (const auto& v : vals) s += v + " ";
+             return s;
+           }()
+        << "}";
+  }
+  for (const auto& [k, v] : dump) {
+    EXPECT_TRUE(acceptable.count(k))
+        << "ghost row: table " << k.first << " key " << k.second << " = "
+        << v << " (no journaled transaction wrote it)";
+  }
+
+  // Monolithic replay: committed (plus dump-confirmed in-doubt)
+  // transactions re-executed on a single-process direct-bound cluster;
+  // the result must match the live cluster's dumps EXACTLY.
+  std::map<Key, uint64_t> last_writer;
+  for (const JTxn& txn : txns) {
+    for (const JOp& op : txn.ops) {
+      // Seqs are per-TC but tables are TC-owned, so (table, key) never
+      // collides across TCs and per-TC seq order is total per key.
+      last_writer[{op.table, op.key}] = txn.seq;
+    }
+  }
+  auto confirmed = [&](const JTxn& txn) {
+    if (txn.outcome == 'C') return true;
+    for (const JOp& op : txn.ops) {
+      const Key k{op.table, op.key};
+      if (last_writer[k] != txn.seq) continue;
+      auto it = dump.find(k);
+      if (op.is_delete ? it == dump.end()
+                       : it != dump.end() && it->second == op.value) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  ClusterOptions mono;
+  mono.num_dcs = 1;
+  mono.transport = TransportKind::kDirect;
+  TcSpec spec;
+  spec.options.tc_id = 9;
+  mono.tcs.push_back(spec);
+  auto cluster = std::move(Cluster::Open(mono)).ValueOrDie();
+  TransactionComponent* tc = cluster->tc(0);
+  const std::vector<TableId> tables = {101, 102, 201, 202};
+  for (TableId t : tables) ASSERT_TRUE(tc->CreateTable(t).ok());
+  for (const JTxn& txn : txns) {
+    if (!confirmed(txn)) continue;
+    StatusOr<TxnId> id = tc->Begin();
+    ASSERT_TRUE(id.ok());
+    for (const JOp& op : txn.ops) {
+      Status s = op.is_delete ? tc->Delete(*id, op.table, op.key)
+                              : tc->Upsert(*id, op.table, op.key, op.value);
+      ASSERT_TRUE(s.ok() || (op.is_delete && s.IsNotFound()))
+          << "replay txn " << txn.seq << ": " << s.ToString();
+    }
+    ASSERT_TRUE(tc->Commit(*id).ok()) << "replay txn " << txn.seq;
+  }
+  std::map<Key, std::string> replay;
+  for (TableId t : tables) {
+    std::vector<std::pair<std::string, std::string>> rows;
+    ASSERT_TRUE(tc->ScanShared(t, "", "", 0, ReadFlavor::kDirty, &rows).ok());
+    for (auto& [k, v] : rows) replay[{t, k}] = v;
+  }
+  EXPECT_EQ(replay, dump)
+      << "separate-process cluster state diverged from the monolithic "
+         "replay of its journals (workdir kept at "
+      << dir << ")";
+
+  EXPECT_GE(total_committed, min_committed_total);
+}
+
 }  // namespace
 
 TEST(ProcessClusterTest, SigkillDcAndTcThenStateMatchesMonolithicReplay) {
@@ -234,119 +377,120 @@ TEST(ProcessClusterTest, SigkillDcAndTcThenStateMatchesMonolithicReplay) {
   EXPECT_EQ(WaitExit(dc0, 30000), 0);
   EXPECT_EQ(WaitExit(dc1, 30000), 0);
 
-  // --- Oracle: journals → acceptable per-key values. -----------------------
-  std::vector<JTxn> txns;
-  uint64_t total_committed = 0;
-  std::map<Key, std::set<std::string>> acceptable;
-  std::map<Key, std::string> dump;
-  for (int id : {1, 2}) {
-    std::vector<JTxn> j =
-        ParseJournal(dir + "/tc" + std::to_string(id) + ".journal");
-    uint64_t committed = 0;
-    for (const JTxn& txn : j) {
-      if (txn.outcome == 'A') continue;
-      if (txn.outcome == 'C') ++committed;
-      for (const JOp& op : txn.ops) {
-        const Key k{op.table, op.key};
-        const std::string v = op.is_delete ? kAbsent : op.value;
-        if (txn.outcome == 'C') {
-          acceptable[k] = {v};
-        } else {
-          // In doubt: either it applied or it didn't.
-          auto [it, inserted] = acceptable.try_emplace(k);
-          if (inserted) it->second.insert(kAbsent);
-          it->second.insert(v);
-        }
-      }
-      txns.push_back(txn);
-    }
-    // Each TC must have made real progress through the chaos.
-    EXPECT_GE(committed, 100u) << "tc" << id;
-    total_committed += committed;
-    bool complete = false;
-    auto d = ParseDump(dir + "/tc" + std::to_string(id) + ".dump", &complete);
-    ASSERT_TRUE(complete) << "truncated dump for tc" << id;
-    for (auto& [k, v] : d) dump.emplace(k, v);
-  }
+  VerifyAgainstJournals(dir, /*min_committed_per_tc=*/100,
+                        /*min_committed_total=*/300);
 
-  for (const auto& [k, vals] : acceptable) {
-    auto it = dump.find(k);
-    const std::string got = it == dump.end() ? kAbsent : it->second;
-    EXPECT_TRUE(vals.count(got))
-        << "table " << k.first << " key " << k.second << ": cluster has '"
-        << got << "', journal allows only {"
-        << [&] {
-             std::string s;
-             for (const auto& v : vals) s += v + " ";
-             return s;
-           }()
-        << "}";
+  if (!::testing::Test::HasFailure()) {
+    [[maybe_unused]] int rc = system(("rm -rf " + dir).c_str());
   }
-  for (const auto& [k, v] : dump) {
-    EXPECT_TRUE(acceptable.count(k))
-        << "ghost row: table " << k.first << " key " << k.second << " = "
-        << v << " (no journaled transaction wrote it)";
-  }
+}
 
-  // --- Monolithic replay: committed (plus dump-confirmed in-doubt) ---------
-  // transactions re-executed on a single-process direct-bound cluster;
-  // the result must match the live cluster's dumps EXACTLY.
-  std::map<Key, uint64_t> last_writer;
-  for (const JTxn& txn : txns) {
-    for (const JOp& op : txn.ops) {
-      // Seqs are per-TC but tables are TC-owned, so (table, key) never
-      // collides across TCs and per-TC seq order is total per key.
-      last_writer[{op.table, op.key}] = txn.seq;
-    }
-  }
-  auto confirmed = [&](const JTxn& txn) {
-    if (txn.outcome == 'C') return true;
-    for (const JOp& op : txn.ops) {
-      const Key k{op.table, op.key};
-      if (last_writer[k] != txn.seq) continue;
-      auto it = dump.find(k);
-      if (op.is_delete ? it == dump.end()
-                       : it != dump.end() && it->second == op.value) {
-        return true;
-      }
-    }
-    return false;
+// The PR-8 recovery modes across real process boundaries:
+//
+//   * dc0 runs durable (--workdir) with a diskless hot standby riding
+//     its redo stream. SIGKILL the primary, SIGUSR1-promote the standby:
+//     the TCs' endpoint rotation lands on the promoted DC and the
+//     epoch-bump watcher runs the redo-resend — which the standby's
+//     shipped log prefix reduces to the in-flight suffix.
+//   * dc1 runs durable too; it is SIGKILL'd and relaunched with
+//     --recover on the same workdir: pages + local redo replay restore
+//     its pre-crash state, and again only the suffix is resent.
+//
+// The final state must match the monolithic replay exactly, same as the
+// empty-rebuild test above.
+TEST(ProcessClusterTest, PromoteStandbyAndDurableRecoverMatchReplay) {
+  char tmpl[] = "/tmp/untx_promo_XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  const std::string dcd = BinDir() + "/untx_dcd";
+  const std::string tcd = BinDir() + "/untx_tcd";
+  ASSERT_EQ(access(dcd.c_str(), X_OK), 0) << dcd << " not built?";
+  ASSERT_EQ(access(tcd.c_str(), X_OK), 0) << tcd << " not built?";
+  ASSERT_EQ(mkdir((dir + "/dc0").c_str(), 0755), 0);
+  ASSERT_EQ(mkdir((dir + "/dc1").c_str(), 0755), 0);
+
+  // --- Topology: durable dc0 + its standby (port fixed up front so the
+  // TCs can list it as an alternate before it ever listens), durable dc1.
+  pid_t dc0 = Spawn({dcd, "--port", "0", "--port_file", dir + "/dc0.port",
+                     "--workdir", dir + "/dc0"},
+                    dir + "/dc0.log");
+  pid_t dc1 = Spawn({dcd, "--port", "0", "--port_file", dir + "/dc1.port",
+                     "--workdir", dir + "/dc1"},
+                    dir + "/dc1.log");
+  const int p0 = ReadPortFile(dir + "/dc0.port", 10000);
+  const int p1 = ReadPortFile(dir + "/dc1.port", 10000);
+  ASSERT_GT(p0, 0);
+  ASSERT_GT(p1, 0);
+  const int p0r = PickFreePort();
+  ASSERT_GT(p0r, 0);
+  pid_t dc0r = Spawn({dcd, "--port", std::to_string(p0r), "--port_file",
+                      dir + "/dc0r.port", "--replica_of",
+                      "127.0.0.1:" + std::to_string(p0)},
+                     dir + "/dc0r.log");
+
+  const std::string dcs = "127.0.0.1:" + std::to_string(p0) + "|127.0.0.1:" +
+                          std::to_string(p0r) + ",127.0.0.1:" +
+                          std::to_string(p1);
+  auto spawn_tc = [&](int id, std::vector<std::string> extra,
+                      const std::string& log) {
+    std::vector<std::string> args = {tcd,         "--tc_id",
+                                     std::to_string(id), "--dcs",
+                                     dcs,         "--workdir",
+                                     dir,         "--seed",
+                                     std::to_string(80 + id)};
+    args.insert(args.end(), extra.begin(), extra.end());
+    return Spawn(args, dir + "/" + log);
   };
+  pid_t tc1 = spawn_tc(1, {"--steps", "300", "--step_sleep_ms", "10"},
+                       "tc1.log");
+  pid_t tc2 = spawn_tc(2, {"--steps", "300", "--step_sleep_ms", "10"},
+                       "tc2.log");
 
-  ClusterOptions mono;
-  mono.num_dcs = 1;
-  mono.transport = TransportKind::kDirect;
-  TcSpec spec;
-  spec.options.tc_id = 9;
-  mono.tcs.push_back(spec);
-  auto cluster = std::move(Cluster::Open(mono)).ValueOrDie();
-  TransactionComponent* tc = cluster->tc(0);
-  const std::vector<TableId> tables = {101, 102, 201, 202};
-  for (TableId t : tables) ASSERT_TRUE(tc->CreateTable(t).ok());
-  for (const JTxn& txn : txns) {
-    if (!confirmed(txn)) continue;
-    StatusOr<TxnId> id = tc->Begin();
-    ASSERT_TRUE(id.ok());
-    for (const JOp& op : txn.ops) {
-      Status s = op.is_delete ? tc->Delete(*id, op.table, op.key)
-                              : tc->Upsert(*id, op.table, op.key, op.value);
-      ASSERT_TRUE(s.ok() || (op.is_delete && s.IsNotFound()))
-          << "replay txn " << txn.seq << ": " << s.ToString();
-    }
-    ASSERT_TRUE(tc->Commit(*id).ok()) << "replay txn " << txn.seq;
-  }
-  std::map<Key, std::string> replay;
-  for (TableId t : tables) {
-    std::vector<std::pair<std::string, std::string>> rows;
-    ASSERT_TRUE(tc->ScanShared(t, "", "", 0, ReadFlavor::kDirty, &rows).ok());
-    for (auto& [k, v] : rows) replay[{t, k}] = v;
-  }
-  EXPECT_EQ(replay, dump)
-      << "separate-process cluster state diverged from the monolithic "
-         "replay of its journals (workdir kept at "
-      << dir << ")";
+  // --- Failover: SIGKILL the primary, promote the standby. -----------------
+  SleepMs(1200);
+  ASSERT_EQ(kill(dc0, SIGKILL), 0);
+  waitpid(dc0, nullptr, 0);
+  ASSERT_EQ(kill(dc0r, SIGUSR1), 0);
+  // The standby writes its port file only once promoted and serving.
+  ASSERT_EQ(ReadPortFile(dir + "/dc0r.port", 15000), p0r)
+      << "standby failed to promote; see " << dir << "/dc0r.log";
 
-  EXPECT_GE(total_committed, 300u);
+  // --- Durable recovery: SIGKILL dc1, relaunch --recover on its files. -----
+  SleepMs(1200);
+  ASSERT_EQ(kill(dc1, SIGKILL), 0);
+  waitpid(dc1, nullptr, 0);
+  SleepMs(300);
+  dc1 = Spawn({dcd, "--port", std::to_string(p1), "--port_file",
+               dir + "/dc1b.port", "--workdir", dir + "/dc1", "--recover"},
+              dir + "/dc1b.log");
+  ASSERT_EQ(ReadPortFile(dir + "/dc1b.port", 10000), p1);
+
+  EXPECT_EQ(WaitExit(tc1, 120000), 0) << "tc1 wedged; see " << dir;
+  EXPECT_EQ(WaitExit(tc2, 120000), 0) << "tc2 wedged; see " << dir;
+
+  // --- Final pass: recover (resolving any in-doubt txn) and dump. ----------
+  pid_t d1 = spawn_tc(1, {"--steps", "0", "--recover", "--dump"}, "tc1d.log");
+  ASSERT_EQ(WaitExit(d1, 120000), 0) << "tc1 dump pass failed; see " << dir;
+  pid_t d2 = spawn_tc(2, {"--steps", "0", "--recover", "--dump"}, "tc2d.log");
+  ASSERT_EQ(WaitExit(d2, 120000), 0) << "tc2 dump pass failed; see " << dir;
+
+  kill(dc0r, SIGTERM);
+  kill(dc1, SIGTERM);
+  EXPECT_EQ(WaitExit(dc0r, 30000), 0);
+  EXPECT_EQ(WaitExit(dc1, 30000), 0);
+
+  // The relaunched dc1 must actually have restored state from ITS OWN
+  // disk (not been rebuilt empty): its log announces the local replay.
+  {
+    std::ifstream f(dir + "/dc1b.log");
+    std::stringstream ss;
+    ss << f.rdbuf();
+    EXPECT_NE(ss.str().find("local recovery replayed"), std::string::npos)
+        << "dc1 --recover did not take the local-recovery path; see " << dir;
+  }
+
+  VerifyAgainstJournals(dir, /*min_committed_per_tc=*/80,
+                        /*min_committed_total=*/250);
 
   if (!::testing::Test::HasFailure()) {
     [[maybe_unused]] int rc = system(("rm -rf " + dir).c_str());
